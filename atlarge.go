@@ -1,0 +1,147 @@
+// Package atlarge is the public API of the AtLarge design-framework
+// reproduction: the ATLARGE framework for the design of distributed systems
+// and ecosystems (Iosup et al., ICDCS 2019) together with the simulated
+// substrates that reproduce every table and figure of the paper's
+// evaluation.
+//
+// The framework itself (reasoning model, principles, challenges, Basic
+// Design Cycle, design-space exploration) is re-exported here from the
+// internal packages; the per-artifact experiments are exposed through
+// RunExperiment and the Experiments registry.
+package atlarge
+
+import (
+	"atlarge/internal/core"
+	"atlarge/internal/designspace"
+)
+
+// Re-exported framework types: the Dorst reasoning model (Figure 5).
+type (
+	// ReasoningMode is a row of the extended Dorst reasoning model.
+	ReasoningMode = core.ReasoningMode
+	// Element is a slot of the reasoning equation (What/How/Outcome).
+	Element = core.Element
+)
+
+// Reasoning modes.
+const (
+	Deduction       = core.Deduction
+	Induction       = core.Induction
+	NormalAbduction = core.NormalAbduction
+	DesignAbduction = core.DesignAbduction
+	Unreasoning     = core.Unreasoning
+)
+
+// Classify returns the reasoning mode for a knowledge state; design
+// abduction is knowing only the desired outcome.
+func Classify(knowWhat, knowHow, knowOutcome bool) ReasoningMode {
+	return core.Classify(knowWhat, knowHow, knowOutcome)
+}
+
+// Framework catalogs (Tables 1-3, §3.4, §5.1).
+type (
+	// Principle is one of the eight core principles of MCS design.
+	Principle = core.Principle
+	// Challenge is one of the ten open challenges.
+	Challenge = core.Challenge
+	// ProblemArchetype is a §3.4 problem kind.
+	ProblemArchetype = core.ProblemArchetype
+	// CreativityLevel is an Altshuller design level.
+	CreativityLevel = core.CreativityLevel
+	// FrameworkOverview is the Table 1 summary.
+	FrameworkOverview = core.FrameworkOverview
+)
+
+// Principles returns the Table 2 catalog (P1-P8).
+func Principles() []Principle { return core.Principles() }
+
+// Challenges returns the Table 3 catalog (C1-C10).
+func Challenges() []Challenge { return core.Challenges() }
+
+// ProblemArchetypes returns the §3.4 problem catalog.
+func ProblemArchetypes() []ProblemArchetype { return core.ProblemArchetypes() }
+
+// Overview returns the Table 1 framework summary.
+func Overview() FrameworkOverview { return core.Overview() }
+
+// AssessCreativity maps a design's adapted/new shares to an Altshuller level.
+func AssessCreativity(adaptedShare, newShare float64, opensEcosystem bool) (CreativityLevel, error) {
+	return core.AssessCreativity(adaptedShare, newShare, opensEcosystem)
+}
+
+// The Basic Design Cycle (§3.5, Figure 8).
+type (
+	// Cycle is an executable Basic Design Cycle with skippable stages.
+	Cycle = core.Cycle
+	// Stage is a BDC stage.
+	Stage = core.Stage
+	// StageFunc executes one stage.
+	StageFunc = core.StageFunc
+	// Context is the shared process state.
+	Context = core.Context
+	// Artifact is a produced design.
+	Artifact = core.Artifact
+	// StoppingCriteria configures the five stopping criteria.
+	StoppingCriteria = core.StoppingCriteria
+	// Trace documents a cycle run (provenance, challenge C8).
+	Trace = core.Trace
+)
+
+// BDC stages.
+const (
+	StageFormulateRequirements  = core.StageFormulateRequirements
+	StageUnderstandAlternatives = core.StageUnderstandAlternatives
+	StageBootstrapCreative      = core.StageBootstrapCreative
+	StageDesign                 = core.StageDesign
+	StageImplementation         = core.StageImplementation
+	StageConceptualAnalysis     = core.StageConceptualAnalysis
+	StageExperimentalAnalysis   = core.StageExperimentalAnalysis
+	StageReporting              = core.StageReporting
+)
+
+// Design-space exploration (§3.3, Figures 6-7).
+type (
+	// Problem is a design problem with hidden satisficing regions.
+	Problem = designspace.Problem
+	// Design is a candidate design.
+	Design = designspace.Design
+	// Explorer is a Figure 6 exploration process.
+	Explorer = designspace.Explorer
+	// CoEvolving is the Figure 7 co-evolving problem-solution process.
+	CoEvolving = designspace.CoEvolving
+)
+
+// RunFigure7 executes the four-process design-space exploration comparison.
+func RunFigure7(dim, regions int, radius float64, budget int, seed int64) (*designspace.Figure7Result, error) {
+	return designspace.RunFigure7(dim, regions, radius, budget, seed)
+}
+
+// Design assessment (Figure 4) and problem classification (§2.4).
+type (
+	// DesignReview is the Figure 4 critique as an executable rubric.
+	DesignReview = core.DesignReview
+	// Maturity classifies a reviewed design.
+	Maturity = core.Maturity
+	// ProblemTraits captures the Simon/wickedness characteristics.
+	ProblemTraits = core.ProblemTraits
+	// ProblemKind is well-structured / ill-structured / wicked.
+	ProblemKind = core.ProblemKind
+)
+
+// Maturity levels and problem kinds.
+const (
+	MaturityStudentLike = core.MaturityStudentLike
+	MaturityCompetent   = core.MaturityCompetent
+	MaturityBelievable  = core.MaturityBelievable
+
+	WellStructured = core.WellStructured
+	IllStructured  = core.IllStructured
+	Wicked         = core.Wicked
+)
+
+// Figure4StudentDesign returns the review of the paper's typical early
+// student design.
+func Figure4StudentDesign() DesignReview { return core.Figure4StudentDesign() }
+
+// ClassifyProblem maps problem traits to its structural kind.
+func ClassifyProblem(t ProblemTraits) ProblemKind { return core.ClassifyProblem(t) }

@@ -1,0 +1,103 @@
+package atlarge
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicCatalogs(t *testing.T) {
+	if len(Principles()) != 8 {
+		t.Error("principles != 8")
+	}
+	if len(Challenges()) != 10 {
+		t.Error("challenges != 10")
+	}
+	if len(ProblemArchetypes()) != 5 {
+		t.Error("archetypes != 5")
+	}
+	if Overview().CentralPremise == "" {
+		t.Error("empty central premise")
+	}
+}
+
+func TestPublicClassify(t *testing.T) {
+	if got := Classify(false, false, true); got != DesignAbduction {
+		t.Errorf("Classify outcome-only = %v, want design abduction", got)
+	}
+}
+
+func TestPublicAssessCreativity(t *testing.T) {
+	lvl, err := AssessCreativity(0.2, 0.6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.String() == "" {
+		t.Error("empty level string")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunQuickExperiments(t *testing.T) {
+	// The fast artifacts run in unit tests; the heavy sweeps run in the
+	// benchmarks.
+	for _, id := range []string{"fig7", "fig9", "bdc"} {
+		t.Run(id, func(t *testing.T) {
+			rep, err := RunExperiment(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id || rep.Title == "" || len(rep.Rows) == 0 {
+				t.Errorf("report = %+v", rep)
+			}
+		})
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	for _, id := range Experiments() {
+		t.Run(id, func(t *testing.T) {
+			rep, err := RunExperiment(id, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Error("empty report")
+			}
+			for _, row := range rep.Rows {
+				if strings.TrimSpace(row) == "" {
+					t.Error("blank row")
+				}
+			}
+		})
+	}
+}
+
+func TestBDCCycleViaPublicAPI(t *testing.T) {
+	n := 0
+	cy := &Cycle{
+		Name: "public",
+		Stages: map[Stage]StageFunc{
+			StageDesign: func(ctx *Context) error {
+				n++
+				ctx.AddSolution(Artifact{Name: "x", Satisficing: n >= 2})
+				return nil
+			},
+		},
+		Stop: StoppingCriteria{SatisficeAfter: 1, MaxIterations: 10},
+	}
+	tr, err := cy.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Solutions) != 1 {
+		t.Errorf("solutions = %d", len(tr.Solutions))
+	}
+}

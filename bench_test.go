@@ -1,0 +1,108 @@
+package atlarge
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation, one testing.B benchmark per artifact. Each benchmark prints
+// (once) the same rows/series the paper reports, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the full reproduction run. Absolute numbers come from our
+// simulated substrates; the shapes (who wins, by what factor, where
+// crossovers fall) are the reproduction target — see EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+var printOnce sync.Map
+
+// report runs one experiment, printing its rows on the first iteration only.
+func report(b *testing.B, id string) {
+	b.Helper()
+	rep, err := RunExperiment(id, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
+		b.Logf("== %s ==", rep.Title)
+		for _, row := range rep.Rows {
+			b.Log(row)
+		}
+	}
+	if len(rep.Rows) == 0 {
+		b.Fatal("empty report")
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		report(b, id)
+	}
+}
+
+// BenchmarkFigure1Keywords regenerates Figure 1 (keyword presence in top
+// systems venues).
+func BenchmarkFigure1Keywords(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure2DesignArticles regenerates Figure 2 (design articles per
+// venue per 5-year block since 1980).
+func BenchmarkFigure2DesignArticles(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFigure3ReviewScores regenerates Figure 3 (violin summaries of
+// review scores by article category).
+func BenchmarkFigure3ReviewScores(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFigure7Exploration regenerates Figures 6-7 (design-space
+// exploration processes, co-evolving problem-solution).
+func BenchmarkFigure7Exploration(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFigure9RefArch regenerates Figure 9 (datacenter reference
+// architecture coverage and ecosystem mappings).
+func BenchmarkFigure9RefArch(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkTable5P2P regenerates Table 5 (P2P studies: aliased media,
+// asymmetry, global ecosystem, bias, flashcrowds, vicissitude, 2fast).
+func BenchmarkTable5P2P(b *testing.B) { benchExperiment(b, "tab5") }
+
+// BenchmarkTable6MMOG regenerates Table 6 (MMOG studies: dynamics, social
+// networks, toxicity, AoS scalability, provisioning).
+func BenchmarkTable6MMOG(b *testing.B) { benchExperiment(b, "tab6") }
+
+// BenchmarkTable7Serverless regenerates Table 7 (serverless studies:
+// principles, performance, evolution, workflows, reference architecture).
+func BenchmarkTable7Serverless(b *testing.B) { benchExperiment(b, "tab7") }
+
+// BenchmarkTable8Graphalytics regenerates Table 8 (Graphalytics: the PAD and
+// HPAD laws).
+func BenchmarkTable8Graphalytics(b *testing.B) { benchExperiment(b, "tab8") }
+
+// BenchmarkTable9Portfolio regenerates Table 9 (portfolio scheduling across
+// workloads and environments).
+func BenchmarkTable9Portfolio(b *testing.B) { benchExperiment(b, "tab9") }
+
+// BenchmarkAutoscalingExperiments regenerates the §6.7 autoscaling study
+// (elasticity metrics, rankings, grading, cost, corroboration).
+func BenchmarkAutoscalingExperiments(b *testing.B) { benchExperiment(b, "autoscale") }
+
+// BenchmarkBDCProcess exercises the framework mechanics (Tables 1-3,
+// Figure 8): catalog validation plus a satisficing BDC run.
+func BenchmarkBDCProcess(b *testing.B) { benchExperiment(b, "bdc") }
+
+// BenchmarkAllExperiments runs the complete reproduction end to end, the
+// one-line check that every artifact regenerates.
+func BenchmarkAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range Experiments() {
+			rep, err := RunExperiment(id, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				b.Fatal(fmt.Sprintf("experiment %s produced no rows", id))
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command atlarge reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	atlarge list
+//	atlarge run <experiment|all> [-seed N]
+//
+// Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atlarge"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "atlarge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: atlarge <list|run> [experiment|all] [-seed N]")
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range atlarge.Experiments() {
+			fmt.Println(id)
+		}
+		return nil
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		seed := fs.Int64("seed", 42, "experiment seed")
+		rest := args[1:]
+		target := "all"
+		if len(rest) > 0 && rest[0][0] != '-' {
+			target = rest[0]
+			rest = rest[1:]
+		}
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		ids := []string{target}
+		if target == "all" {
+			ids = atlarge.Experiments()
+		}
+		for _, id := range ids {
+			rep, err := atlarge.RunExperiment(id, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== %s: %s ==\n", rep.ID, rep.Title)
+			for _, row := range rep.Rows {
+				fmt.Println("  " + row)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

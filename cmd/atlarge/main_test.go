@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"run", "fig9", "-seed", "7"}); err != nil {
+		t.Fatalf("run fig9: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+// Command dcsim runs one datacenter scheduling simulation: a workload class
+// on an environment under either a static policy or the portfolio scheduler,
+// and prints job-level metrics.
+//
+// Usage:
+//
+//	dcsim -workload Sci -env CL -policy portfolio -jobs 200 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"atlarge/internal/cluster"
+	"atlarge/internal/portfolio"
+	"atlarge/internal/sched"
+	"atlarge/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadName = flag.String("workload", "Sci", "workload class: Syn Sci CE BC BD G Ind")
+		envName      = flag.String("env", "CL", "environment: CL G CD MCD GDC")
+		policyName   = flag.String("policy", "portfolio", "policy name or 'portfolio'")
+		jobs         = flag.Int("jobs", 200, "number of jobs")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	class, err := parseClass(*workloadName)
+	if err != nil {
+		return err
+	}
+	kind, err := parseKind(*envName)
+	if err != nil {
+		return err
+	}
+	tr := workload.StandardGenerator(class).Generate(*jobs, rand.New(rand.NewSource(*seed)))
+	envFactory := func() *cluster.Environment { return cluster.StandardEnvironment(kind) }
+
+	if *policyName == "portfolio" {
+		s := &portfolio.Scheduler{
+			Policies:   sched.DefaultPortfolio(),
+			Selector:   portfolio.Exhaustive{},
+			WindowSize: 25,
+			EnvFactory: envFactory,
+			Seed:       *seed,
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("portfolio scheduler on %s/%s: %d windows, mean slowdown %.2f, mean response %.0fs, %d selection sims\n",
+			class, kind, len(res.Choices), res.MeanSlowdown, res.MeanResponse, res.TotalSimRuns)
+		for _, c := range res.Choices {
+			fmt.Printf("  window %2d -> %-10s realized slowdown %.2f\n", c.Window, c.Policy, c.Realized)
+		}
+		return nil
+	}
+
+	var policy sched.Policy
+	for _, p := range sched.DefaultPortfolio() {
+		if p.Name() == *policyName {
+			policy = p
+		}
+	}
+	if policy == nil {
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+	res, err := sched.NewSimulator(envFactory(), tr, policy, *seed).Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s/%s: %d jobs, makespan %.0fs, mean slowdown %.2f, mean wait %.0fs, utilization %.2f\n",
+		policy.Name(), class, kind, len(res.Jobs), float64(res.Makespan),
+		res.MeanSlowdown, res.MeanWait, res.UtilizationMean)
+	return nil
+}
+
+func parseClass(s string) (workload.Class, error) {
+	for _, c := range []workload.Class{
+		workload.ClassSynthetic, workload.ClassScientific, workload.ClassComputerEngineering,
+		workload.ClassBusinessCritical, workload.ClassBigData, workload.ClassGaming,
+		workload.ClassIndustrial,
+	} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload class %q", s)
+}
+
+func parseKind(s string) (cluster.Kind, error) {
+	for _, k := range []cluster.Kind{
+		cluster.KindCluster, cluster.KindGrid, cluster.KindCloud,
+		cluster.KindMultiCluster, cluster.KindGeoDistributed,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown environment %q", s)
+}

@@ -1,0 +1,31 @@
+// MMOG scaling: compare static zoning, the Area-of-Simulation technique, and
+// Mirror-style offloading for an RTS-style virtual world with clustered
+// points of interest (the paper's §6.2 scalability result).
+package main
+
+import (
+	"fmt"
+
+	"atlarge/internal/mmog"
+)
+
+func main() {
+	fmt.Println("max supported players per technique (per-server load budget 3000):")
+	rows := mmog.RunScalabilityStudy([]int{4, 8, 16, 32}, 3000, 1)
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+
+	// The population dynamics that drive provisioning.
+	pm := mmog.DefaultPopulationModel()
+	dyn := mmog.AnalyzeDynamics(pm.Series(28))
+	fmt.Printf("\npopulation dynamics: mean %.0f players, daily peak/trough %.1fx, weekend uplift %.2fx\n",
+		dyn.MeanPlayers, dyn.PeakToTrough, dyn.WeeklyVariation)
+
+	hourly := pm.Series(14)
+	static := mmog.EvaluateProvisioning(mmog.StaticPeak{}, hourly, 1000)
+	pred := mmog.EvaluateProvisioning(mmog.Predictive{}, hourly, 1000)
+	fmt.Printf("provisioning over 14 days: static-peak %d server-hours, predictive %d (%.0f%% saved, %.1f%% QoS violations)\n",
+		static.ServerHours, pred.ServerHours,
+		100*(1-float64(pred.ServerHours)/float64(static.ServerHours)), pred.ViolationPct)
+}

@@ -1,0 +1,71 @@
+// Quickstart: use the ATLARGE framework public API end to end.
+//
+// It (1) classifies a design situation with the Dorst reasoning model,
+// (2) walks the framework catalogs, (3) runs a Basic Design Cycle on a toy
+// design problem with satisficing, and (4) assesses the result's Altshuller
+// creativity level.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"atlarge"
+)
+
+func main() {
+	// 1. We know the outcome we want (a scalable ecosystem), not the
+	// concepts or relationships that produce it: that is design abduction.
+	mode := atlarge.Classify(false, false, true)
+	fmt.Printf("reasoning mode: %s (design? %v)\n\n", mode, mode.IsDesign())
+
+	// 2. The framework catalogs.
+	fmt.Println("core principles of MCS design:")
+	for _, p := range atlarge.Principles() {
+		fmt.Printf("  P%d [%s] %s\n", p.Index, p.Category, p.Text)
+	}
+	fmt.Println()
+
+	// 3. A Basic Design Cycle: iterate design + experimental analysis until
+	// a satisficing design appears, skipping stages we do not need.
+	r := rand.New(rand.NewSource(7))
+	quality := 0.0
+	cycle := &atlarge.Cycle{
+		Name: "scalable-mmog-ecosystem",
+		Stages: map[atlarge.Stage]atlarge.StageFunc{
+			atlarge.StageFormulateRequirements: func(ctx *atlarge.Context) error {
+				ctx.State["NFR"] = "low latency at 1M concurrent players"
+				return nil
+			},
+			atlarge.StageDesign: func(ctx *atlarge.Context) error {
+				quality = r.Float64() // each iteration proposes a design
+				return nil
+			},
+			atlarge.StageExperimentalAnalysis: func(ctx *atlarge.Context) error {
+				ctx.AddSolution(atlarge.Artifact{
+					Name:        fmt.Sprintf("design-v%d", ctx.Iteration),
+					Score:       quality,
+					Satisficing: quality > 0.75,
+				})
+				return nil
+			},
+		},
+		Stop: atlarge.StoppingCriteria{SatisficeAfter: 1, MaxIterations: 50},
+	}
+	tr, err := cycle.Run(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("BDC %q: stop=%v, iterations=%d, failures=%d\n",
+		tr.Name, tr.Stop, len(tr.Iterations), tr.Failures)
+	for _, s := range tr.Solutions {
+		fmt.Printf("  satisficing design: %s (score %.2f)\n", s.Name, s.Score)
+	}
+
+	// 4. How creative is the result?
+	level, err := atlarge.AssessCreativity(0.4, 0.3, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("creativity level: %v\n", level)
+}

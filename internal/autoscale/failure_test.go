@@ -1,0 +1,75 @@
+package autoscale
+
+import (
+	"math/rand"
+	"testing"
+
+	"atlarge/internal/workload"
+)
+
+// failTrace returns a moderate workflow workload.
+func failTrace(t *testing.T, seed int64) *workload.Trace {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	return workload.StandardGenerator(workload.ClassScientific).Generate(12, r)
+}
+
+func TestBootFailuresStillComplete(t *testing.T) {
+	tr := failTrace(t, 4)
+	cfg := DefaultVitroConfig()
+	cfg.BootFailureRate = 0.3
+	cfg.Seed = 4
+	st, err := Run(cfg, React{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsDone != 12 {
+		t.Errorf("jobs done under boot failures = %d/12", st.JobsDone)
+	}
+}
+
+func TestBootFailuresDegradeResponse(t *testing.T) {
+	tr := failTrace(t, 4)
+	clean := DefaultVitroConfig()
+	clean.Seed = 4
+	stClean, err := Run(clean, React{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := DefaultVitroConfig()
+	faulty.Seed = 4
+	faulty.BootFailureRate = 0.5
+	stFaulty, err := Run(faulty, React{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mClean := ComputeMetrics(stClean)
+	mFaulty := ComputeMetrics(stFaulty)
+	if mFaulty.MeanResponse <= mClean.MeanResponse {
+		t.Errorf("boot failures did not degrade response: %v vs %v",
+			mFaulty.MeanResponse, mClean.MeanResponse)
+	}
+	// Under-provisioning accuracy must worsen too.
+	if mFaulty.AccuracyUnder < mClean.AccuracyUnder {
+		t.Errorf("boot failures reduced under-provisioning: %v vs %v",
+			mFaulty.AccuracyUnder, mClean.AccuracyUnder)
+	}
+}
+
+func TestBootFailureDeterministicPerSeed(t *testing.T) {
+	tr := failTrace(t, 4)
+	cfg := DefaultVitroConfig()
+	cfg.BootFailureRate = 0.4
+	cfg.Seed = 11
+	a, err := Run(cfg, Adapt{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, Adapt{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoreSeconds != b.CoreSeconds || a.Horizon != b.Horizon {
+		t.Error("boot-failure runs not deterministic for fixed seed")
+	}
+}

@@ -1,0 +1,274 @@
+package autoscale
+
+import (
+	"math"
+	"sort"
+
+	"atlarge/internal/stats"
+)
+
+// ElasticityMetrics are the ten §6.7 evaluation metrics: the Herbst-style
+// elasticity set (accuracy and timeshare of over/under-provisioning,
+// instability, jitter), traditional performance metrics (response time,
+// slowdown), and the operational metrics (core-seconds, deadline-miss rate).
+// For every metric, lower is better.
+type ElasticityMetrics struct {
+	AccuracyUnder   float64 // mean under-provisioned cores (normalized by peak demand)
+	AccuracyOver    float64 // mean over-provisioned cores (normalized by peak demand)
+	TimeshareUnder  float64 // fraction of time under-provisioned
+	TimeshareOver   float64 // fraction of time over-provisioned
+	Instability     float64 // fraction of steps where supply changes direction
+	Jitter          float64 // |supply changes − demand changes| per step
+	MeanResponse    float64 // mean job response time (s)
+	MeanSlowdown    float64 // mean bounded job slowdown
+	CoreSeconds     float64 // provisioned capacity integral
+	DeadlineMissPct float64 // % of jobs missing their deadline
+}
+
+// MetricNames lists the metric keys in canonical order.
+func MetricNames() []string {
+	return []string{
+		"accuracy_under", "accuracy_over", "timeshare_under", "timeshare_over",
+		"instability", "jitter", "mean_response", "mean_slowdown",
+		"core_seconds", "deadline_miss_pct",
+	}
+}
+
+// AsMap returns the metrics keyed by MetricNames order.
+func (m ElasticityMetrics) AsMap() map[string]float64 {
+	return map[string]float64{
+		"accuracy_under":    m.AccuracyUnder,
+		"accuracy_over":     m.AccuracyOver,
+		"timeshare_under":   m.TimeshareUnder,
+		"timeshare_over":    m.TimeshareOver,
+		"instability":       m.Instability,
+		"jitter":            m.Jitter,
+		"mean_response":     m.MeanResponse,
+		"mean_slowdown":     m.MeanSlowdown,
+		"core_seconds":      m.CoreSeconds,
+		"deadline_miss_pct": m.DeadlineMissPct,
+	}
+}
+
+// ComputeMetrics derives the ten metrics from a run.
+func ComputeMetrics(st *RunStats) ElasticityMetrics {
+	var m ElasticityMetrics
+	n := len(st.Supply)
+	if n == 0 {
+		return m
+	}
+	peak := 0
+	for _, d := range st.Demand {
+		if d > peak {
+			peak = d
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var under, over float64
+	var tUnder, tOver int
+	for i := 0; i < n; i++ {
+		gap := st.Demand[i] - st.Supply[i]
+		if gap > 0 {
+			under += float64(gap)
+			tUnder++
+		} else if gap < 0 {
+			over += float64(-gap)
+			tOver++
+		}
+	}
+	m.AccuracyUnder = under / float64(n) / float64(peak)
+	m.AccuracyOver = over / float64(n) / float64(peak)
+	m.TimeshareUnder = float64(tUnder) / float64(n)
+	m.TimeshareOver = float64(tOver) / float64(n)
+	m.Instability = instability(st.Supply)
+	m.Jitter = math.Abs(changes(st.Supply)-changes(st.Demand)) / float64(n)
+	m.MeanResponse = stats.Mean(st.JobResponse)
+	m.MeanSlowdown = stats.Mean(st.JobSlowdown)
+	m.CoreSeconds = st.CoreSeconds
+	if st.JobsDone > 0 {
+		m.DeadlineMissPct = 100 * float64(st.DeadlineMiss) / float64(st.JobsDone)
+	}
+	return m
+}
+
+// instability is the fraction of interior points where the supply slope
+// changes sign.
+func instability(xs []int) float64 {
+	if len(xs) < 3 {
+		return 0
+	}
+	flips := 0
+	prev := 0
+	for i := 1; i < len(xs); i++ {
+		d := sign(xs[i] - xs[i-1])
+		if d != 0 && prev != 0 && d != prev {
+			flips++
+		}
+		if d != 0 {
+			prev = d
+		}
+	}
+	return float64(flips) / float64(len(xs)-2)
+}
+
+// changes counts direction-ful steps in the series.
+func changes(xs []int) float64 {
+	c := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[i-1] {
+			c++
+		}
+	}
+	return float64(c)
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// CostModel converts provisioned capacity into money, following the §6.7
+// cost analysis with several real-world-shaped billing schemes.
+type CostModel struct {
+	Name string
+	// PricePerCoreHour in dollars.
+	PricePerCoreHour float64
+	// Granularity rounds each VM's total usage up to a multiple (seconds).
+	// The engines track aggregate core-seconds, so granularity is applied to
+	// the aggregate as an approximation.
+	Granularity float64
+}
+
+// StandardCostModels returns the per-hour, per-minute, and per-second
+// billing models used in the cost analysis.
+func StandardCostModels() []CostModel {
+	return []CostModel{
+		{Name: "per-hour", PricePerCoreHour: 0.10, Granularity: 3600},
+		{Name: "per-minute", PricePerCoreHour: 0.105, Granularity: 60},
+		{Name: "per-second", PricePerCoreHour: 0.11, Granularity: 1},
+	}
+}
+
+// Cost returns the charged cost of coreSeconds of provisioned capacity.
+func (c CostModel) Cost(coreSeconds float64) float64 {
+	s := coreSeconds
+	if c.Granularity > 1 {
+		units := math.Ceil(s / c.Granularity)
+		s = units * c.Granularity
+	}
+	return s / 3600 * c.PricePerCoreHour
+}
+
+// RankByMetric returns, for one metric (lower is better), the autoscaler
+// names in rank order.
+func RankByMetric(results map[string]ElasticityMetrics, metric string) []string {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		a := results[names[i]].AsMap()[metric]
+		b := results[names[j]].AsMap()[metric]
+		if a != b {
+			return a < b
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// AverageRank is ranking method 1 of the paper: rank per metric (ties share
+// the mean rank), then average the ranks over all metrics. Lower is better.
+func AverageRank(results map[string]ElasticityMetrics) map[string]float64 {
+	sum := make(map[string]float64, len(results))
+	for _, metric := range MetricNames() {
+		order := RankByMetric(results, metric)
+		// Assign average ranks to runs of equal metric values.
+		for i := 0; i < len(order); {
+			j := i
+			vi := results[order[i]].AsMap()[metric]
+			for j+1 < len(order) && results[order[j+1]].AsMap()[metric] == vi {
+				j++
+			}
+			avg := float64(i+j)/2 + 1
+			for k := i; k <= j; k++ {
+				sum[order[k]] += avg
+			}
+			i = j + 1
+		}
+	}
+	out := make(map[string]float64, len(results))
+	for name, s := range sum {
+		out[name] = s / float64(len(MetricNames()))
+	}
+	return out
+}
+
+// HeadToHead is ranking method 2: pairwise tournaments. wins[a][b] counts
+// the metrics on which a strictly beats b.
+func HeadToHead(results map[string]ElasticityMetrics) map[string]map[string]int {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	wins := make(map[string]map[string]int, len(names))
+	for _, a := range names {
+		wins[a] = make(map[string]int, len(names)-1)
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			am, bm := results[a].AsMap(), results[b].AsMap()
+			for _, metric := range MetricNames() {
+				if am[metric] < bm[metric] {
+					wins[a][b]++
+				}
+			}
+		}
+	}
+	return wins
+}
+
+// Grade is the paper's grading method: combine the per-metric scores
+// judiciously into one grade per autoscaler. Each metric is normalized to
+// the best observed value and the grade is the geometric mean of the
+// normalized scores (1.0 is a perfect sweep; higher is worse).
+func Grade(results map[string]ElasticityMetrics) map[string]float64 {
+	metrics := MetricNames()
+	best := make(map[string]float64, len(metrics))
+	for _, metric := range metrics {
+		b := math.Inf(1)
+		for _, m := range results {
+			if v := m.AsMap()[metric]; v < b {
+				b = v
+			}
+		}
+		best[metric] = b
+	}
+	out := make(map[string]float64, len(results))
+	for name, m := range results {
+		logSum := 0.0
+		count := 0
+		am := m.AsMap()
+		for _, metric := range metrics {
+			b := best[metric]
+			v := am[metric]
+			// Shift scale-free metrics away from zero so ratios stay finite.
+			const eps = 1e-6
+			ratio := (v + eps) / (b + eps)
+			logSum += math.Log(ratio)
+			count++
+		}
+		out[name] = math.Exp(logSum / float64(count))
+	}
+	return out
+}

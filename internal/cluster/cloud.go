@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+
+	"atlarge/internal/sim"
+)
+
+// Pricing describes the cost model of a public cloud, used by the autoscaling
+// cost analyses (§6.7) and the on-demand/reserved scheduling study
+// (Table 9, Shen et al. '13).
+type Pricing struct {
+	// OnDemandPerCoreHour is the hourly price of an on-demand core.
+	OnDemandPerCoreHour float64
+	// ReservedPerCoreHour is the effective hourly price of a reserved core
+	// (paid whether used or not).
+	ReservedPerCoreHour float64
+	// BillingGranularity rounds up usage to this many virtual seconds
+	// (3600 reproduces classic per-hour billing; 1 reproduces per-second).
+	BillingGranularity sim.Duration
+	// StartupDelay is the VM provisioning latency.
+	StartupDelay sim.Duration
+}
+
+// DefaultPricing mirrors classic EC2-style pricing: on-demand twice the
+// effective reserved rate, hourly billing, ~100s VM startup.
+func DefaultPricing() Pricing {
+	return Pricing{
+		OnDemandPerCoreHour: 0.10,
+		ReservedPerCoreHour: 0.05,
+		BillingGranularity:  3600,
+		StartupDelay:        100,
+	}
+}
+
+// VM is a provisioned cloud instance.
+type VM struct {
+	ID        int
+	Cores     int
+	Reserved  bool
+	BootedAt  sim.Time // when it became usable
+	ReleaseAt sim.Time // set on release; zero while running
+	used      int
+}
+
+// Free returns unclaimed cores on the VM.
+func (v *VM) Free() int { return v.Cores - v.used }
+
+// Claim reserves n cores.
+func (v *VM) Claim(n int) error {
+	if v.Free() < n || n < 0 {
+		return fmt.Errorf("cluster: vm %d has %d free cores, need %d", v.ID, v.Free(), n)
+	}
+	v.used += n
+	return nil
+}
+
+// Release frees n cores.
+func (v *VM) Release(n int) error {
+	if n < 0 || n > v.used {
+		return fmt.Errorf("cluster: vm %d release %d with %d used", v.ID, n, v.used)
+	}
+	v.used -= n
+	return nil
+}
+
+// CloudProvider provisions and bills VMs.
+type CloudProvider struct {
+	pricing Pricing
+	nextID  int
+	running map[int]*VM
+	cost    float64
+}
+
+// NewCloudProvider returns a provider with the given pricing.
+func NewCloudProvider(p Pricing) *CloudProvider {
+	return &CloudProvider{pricing: p, running: make(map[int]*VM)}
+}
+
+// Pricing returns the provider's cost model.
+func (cp *CloudProvider) Pricing() Pricing { return cp.pricing }
+
+// Provision starts a VM with cores cores at time now. The VM becomes usable
+// at now + StartupDelay; the caller is responsible for honoring BootedAt.
+func (cp *CloudProvider) Provision(now sim.Time, cores int, reserved bool) *VM {
+	cp.nextID++
+	vm := &VM{
+		ID:       cp.nextID,
+		Cores:    cores,
+		Reserved: reserved,
+		BootedAt: now + cp.pricing.StartupDelay,
+	}
+	cp.running[vm.ID] = vm
+	return vm
+}
+
+// Terminate stops the VM at time now and accrues its cost. Terminating an
+// unknown VM is an error.
+func (cp *CloudProvider) Terminate(now sim.Time, vm *VM) error {
+	if _, ok := cp.running[vm.ID]; !ok {
+		return fmt.Errorf("cluster: terminate unknown vm %d", vm.ID)
+	}
+	delete(cp.running, vm.ID)
+	vm.ReleaseAt = now
+	cp.cost += cp.billFor(vm, now)
+	return nil
+}
+
+// billFor computes the cost of a VM from provisioning start (BootedAt -
+// StartupDelay) until end, rounded up to the billing granularity.
+func (cp *CloudProvider) billFor(vm *VM, end sim.Time) float64 {
+	start := vm.BootedAt - cp.pricing.StartupDelay
+	dur := float64(end - start)
+	if dur < 0 {
+		dur = 0
+	}
+	g := float64(cp.pricing.BillingGranularity)
+	if g > 0 {
+		units := dur / g
+		whole := float64(int64(units))
+		if units > whole {
+			whole++
+		}
+		dur = whole * g
+	}
+	rate := cp.pricing.OnDemandPerCoreHour
+	if vm.Reserved {
+		rate = cp.pricing.ReservedPerCoreHour
+	}
+	return dur / 3600 * rate * float64(vm.Cores)
+}
+
+// AccruedCost returns cost of terminated VMs plus the running VMs billed up
+// to now.
+func (cp *CloudProvider) AccruedCost(now sim.Time) float64 {
+	total := cp.cost
+	for _, vm := range cp.running {
+		total += cp.billFor(vm, now)
+	}
+	return total
+}
+
+// RunningVMs returns the number of currently provisioned VMs.
+func (cp *CloudProvider) RunningVMs() int { return len(cp.running) }
+
+// RunningCores returns the total cores of provisioned VMs.
+func (cp *CloudProvider) RunningCores() int {
+	n := 0
+	for _, vm := range cp.running {
+		n += vm.Cores
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineClaimRelease(t *testing.T) {
+	m := &Machine{ID: 1, Cores: 8, Speed: 1}
+	if err := m.Claim(5); err != nil {
+		t.Fatalf("Claim(5): %v", err)
+	}
+	if m.Free() != 3 || m.Used() != 5 {
+		t.Errorf("Free/Used = %d/%d", m.Free(), m.Used())
+	}
+	if err := m.Claim(4); err == nil {
+		t.Error("over-claim succeeded")
+	}
+	if err := m.Release(5); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := m.Release(1); err == nil {
+		t.Error("over-release succeeded")
+	}
+	if err := m.Claim(-1); err == nil {
+		t.Error("negative claim succeeded")
+	}
+}
+
+func TestMachineInvariantProperty(t *testing.T) {
+	// Property: any sequence of claims/releases keeps 0 <= used <= cores.
+	f := func(ops []int8) bool {
+		m := &Machine{ID: 1, Cores: 16, Speed: 1}
+		for _, op := range ops {
+			n := int(op)
+			if n >= 0 {
+				_ = m.Claim(n % 17)
+			} else {
+				_ = m.Release((-n) % 17)
+			}
+			if m.Used() < 0 || m.Used() > m.Cores {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterAggregates(t *testing.T) {
+	c := &Cluster{Name: "c0", Machines: []*Machine{
+		{ID: 1, Cores: 4, Speed: 1},
+		{ID: 2, Cores: 4, Speed: 1},
+	}}
+	if c.TotalCores() != 8 || c.FreeCores() != 8 {
+		t.Errorf("Total/Free = %d/%d", c.TotalCores(), c.FreeCores())
+	}
+	if _, err := c.FirstFit(3); err != nil {
+		t.Fatalf("FirstFit: %v", err)
+	}
+	if got := c.Utilization(); math.Abs(got-3.0/8) > 1e-12 {
+		t.Errorf("Utilization = %v, want 0.375", got)
+	}
+	// 3 used on m1 (1 free), m2 has 4 free: a 4-core request must go to m2.
+	m, err := c.FirstFit(4)
+	if err != nil || m.ID != 2 {
+		t.Errorf("FirstFit(4) = %v,%v, want machine 2", m, err)
+	}
+	if _, err := c.FirstFit(2); err != ErrNoCapacity {
+		t.Errorf("FirstFit over capacity err = %v, want ErrNoCapacity", err)
+	}
+	empty := &Cluster{}
+	if empty.Utilization() != 0 {
+		t.Error("empty cluster utilization != 0")
+	}
+}
+
+func TestStandardEnvironments(t *testing.T) {
+	tests := []struct {
+		kind      Kind
+		sites     int
+		wantCores int
+		elastic   bool
+	}{
+		{KindCluster, 1, 32 * 8, false},
+		{KindGrid, 4, 4 * 16 * 8, false},
+		{KindCloud, 1, 8 * 8, true},
+		{KindMultiCluster, 3, 3 * 16 * 8, false},
+		{KindGeoDistributed, 5, 5 * 8 * 8, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind.String(), func(t *testing.T) {
+			env := StandardEnvironment(tt.kind)
+			if len(env.Clusters) != tt.sites {
+				t.Errorf("sites = %d, want %d", len(env.Clusters), tt.sites)
+			}
+			if env.TotalCores() != tt.wantCores {
+				t.Errorf("cores = %d, want %d", env.TotalCores(), tt.wantCores)
+			}
+			if (env.Provider != nil) != tt.elastic {
+				t.Errorf("elastic = %v, want %v", env.Provider != nil, tt.elastic)
+			}
+			if env.Utilization() != 0 {
+				t.Errorf("fresh utilization = %v", env.Utilization())
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindGrid.String() != "G" || KindGeoDistributed.String() != "GDC" {
+		t.Error("Kind String mismatch")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown Kind String mismatch")
+	}
+}
+
+func TestCloudProviderBilling(t *testing.T) {
+	cp := NewCloudProvider(Pricing{
+		OnDemandPerCoreHour: 0.10,
+		ReservedPerCoreHour: 0.05,
+		BillingGranularity:  3600,
+		StartupDelay:        100,
+	})
+	vm := cp.Provision(0, 4, false)
+	if vm.BootedAt != 100 {
+		t.Errorf("BootedAt = %v, want 100", vm.BootedAt)
+	}
+	if cp.RunningVMs() != 1 || cp.RunningCores() != 4 {
+		t.Errorf("running = %d VMs / %d cores", cp.RunningVMs(), cp.RunningCores())
+	}
+	// Terminate after 90 minutes: billed 2 hours at $0.10 x 4 cores = $0.80.
+	if err := cp.Terminate(5400, vm); err != nil {
+		t.Fatalf("Terminate: %v", err)
+	}
+	if got := cp.AccruedCost(5400); math.Abs(got-0.80) > 1e-9 {
+		t.Errorf("cost = %v, want 0.80", got)
+	}
+	if err := cp.Terminate(5400, vm); err == nil {
+		t.Error("double terminate succeeded")
+	}
+}
+
+func TestCloudReservedCheaper(t *testing.T) {
+	cp := NewCloudProvider(DefaultPricing())
+	od := cp.Provision(0, 2, false)
+	rs := cp.Provision(0, 2, true)
+	if err := cp.Terminate(7200, od); err != nil {
+		t.Fatal(err)
+	}
+	costOD := cp.AccruedCost(7200)
+	if err := cp.Terminate(7200, rs); err != nil {
+		t.Fatal(err)
+	}
+	costRS := cp.AccruedCost(7200) - costOD
+	if costRS >= costOD {
+		t.Errorf("reserved %v not cheaper than on-demand %v", costRS, costOD)
+	}
+}
+
+func TestCloudRunningCostAccrues(t *testing.T) {
+	cp := NewCloudProvider(Pricing{OnDemandPerCoreHour: 1, BillingGranularity: 1, StartupDelay: 0})
+	_ = cp.Provision(0, 1, false)
+	early := cp.AccruedCost(1800)
+	late := cp.AccruedCost(7200)
+	if !(late > early && early > 0) {
+		t.Errorf("running cost should accrue: early=%v late=%v", early, late)
+	}
+}
+
+func TestVMClaimRelease(t *testing.T) {
+	vm := &VM{ID: 1, Cores: 4}
+	if err := vm.Claim(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Claim(1); err == nil {
+		t.Error("over-claim on VM succeeded")
+	}
+	if err := vm.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Free() != 2 {
+		t.Errorf("Free = %d, want 2", vm.Free())
+	}
+	if err := vm.Release(3); err == nil {
+		t.Error("over-release on VM succeeded")
+	}
+}
+
+func TestBillingGranularityRounding(t *testing.T) {
+	cp := NewCloudProvider(Pricing{OnDemandPerCoreHour: 1, BillingGranularity: 3600, StartupDelay: 0})
+	vm := cp.Provision(0, 1, false)
+	if err := cp.Terminate(1, vm); err != nil { // 1 second -> billed 1 hour
+		t.Fatal(err)
+	}
+	if got := cp.AccruedCost(1); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("1s usage billed %v, want 1.0 (hourly rounding)", got)
+	}
+}

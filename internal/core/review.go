@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// DesignReview is the Figure 4 critique turned into an executable rubric.
+// The paper examines a typical early student design and finds it lacking: no
+// believable description of how the problem is solved, missing
+// interconnections (in the geo-distributed datacenter and between
+// stakeholders), no layering, no system packaging, no component
+// descriptions, and a poor visual depiction. Each criterion scores 0..1.
+type DesignReview struct {
+	// BelievableDescription: does the design credibly solve (part of) the
+	// problem?
+	BelievableDescription float64
+	// Interconnections: are the links between systems and stakeholders
+	// specified?
+	Interconnections float64
+	// Layering: is the design organized into layers?
+	Layering float64
+	// Packaging: are subsystems packaged into deployable units?
+	Packaging float64
+	// ComponentDescriptions: are the (sub)components described?
+	ComponentDescriptions float64
+	// VisualClarity: is the depiction readable?
+	VisualClarity float64
+}
+
+// reviewCriteria enumerates the rubric fields with names, for reports.
+func (r DesignReview) criteria() []struct {
+	Name  string
+	Value float64
+} {
+	return []struct {
+		Name  string
+		Value float64
+	}{
+		{"believable description", r.BelievableDescription},
+		{"interconnections", r.Interconnections},
+		{"layering", r.Layering},
+		{"packaging", r.Packaging},
+		{"component descriptions", r.ComponentDescriptions},
+		{"visual clarity", r.VisualClarity},
+	}
+}
+
+// Validate checks all criteria are in [0,1].
+func (r DesignReview) Validate() error {
+	for _, c := range r.criteria() {
+		if c.Value < 0 || c.Value > 1 {
+			return fmt.Errorf("core: review criterion %q = %v outside [0,1]", c.Name, c.Value)
+		}
+	}
+	return nil
+}
+
+// Score returns the mean criterion score in [0,1].
+func (r DesignReview) Score() float64 {
+	sum := 0.0
+	cs := r.criteria()
+	for _, c := range cs {
+		sum += c.Value
+	}
+	return sum / float64(len(cs))
+}
+
+// Missing lists criteria scored below the threshold (the reviewer's
+// "raises many questions" list for Figure 4).
+func (r DesignReview) Missing(threshold float64) []string {
+	var out []string
+	for _, c := range r.criteria() {
+		if c.Value < threshold {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Maturity classifies the design per the paper's narrative arc: designs
+// below 0.5 resemble the pre-training student attempt of Figure 4; designs
+// at 0.5-0.8 are competent; above 0.8, believable.
+type Maturity int
+
+// Maturity levels.
+const (
+	MaturityStudentLike Maturity = iota + 1
+	MaturityCompetent
+	MaturityBelievable
+)
+
+// String implements fmt.Stringer.
+func (m Maturity) String() string {
+	switch m {
+	case MaturityStudentLike:
+		return "student-like (pre-training)"
+	case MaturityCompetent:
+		return "competent"
+	case MaturityBelievable:
+		return "believable"
+	default:
+		return fmt.Sprintf("Maturity(%d)", int(m))
+	}
+}
+
+// Assess classifies the review.
+func (r DesignReview) Assess() Maturity {
+	switch s := r.Score(); {
+	case s < 0.5:
+		return MaturityStudentLike
+	case s < 0.8:
+		return MaturityCompetent
+	default:
+		return MaturityBelievable
+	}
+}
+
+// Figure4StudentDesign is the review the paper implies for the typical early
+// student submission: a simplified high-level sketch with missing
+// interconnections, no layering or packaging, undescribed components, and
+// text "difficult to read, as designed by the student."
+func Figure4StudentDesign() DesignReview {
+	return DesignReview{
+		BelievableDescription: 0.3,
+		Interconnections:      0.1,
+		Layering:              0.0,
+		Packaging:             0.0,
+		ComponentDescriptions: 0.2,
+		VisualClarity:         0.1,
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDesignReviewValidate(t *testing.T) {
+	good := DesignReview{BelievableDescription: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid review rejected: %v", err)
+	}
+	bad := DesignReview{Layering: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range criterion accepted")
+	}
+	neg := DesignReview{VisualClarity: -0.1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative criterion accepted")
+	}
+}
+
+func TestFigure4StudentDesignClassification(t *testing.T) {
+	r := Figure4StudentDesign()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Assess(); got != MaturityStudentLike {
+		t.Errorf("Figure 4 design assessed as %v, want student-like", got)
+	}
+	missing := r.Missing(0.5)
+	if len(missing) != 6 {
+		t.Errorf("missing criteria = %v, want all 6 (the paper's critique)", missing)
+	}
+	// The paper names interconnections and layering explicitly.
+	found := map[string]bool{}
+	for _, mName := range missing {
+		found[mName] = true
+	}
+	if !found["interconnections"] || !found["layering"] {
+		t.Errorf("critique must include interconnections and layering: %v", missing)
+	}
+}
+
+func TestMaturityBands(t *testing.T) {
+	believable := DesignReview{
+		BelievableDescription: 0.9, Interconnections: 0.9, Layering: 0.9,
+		Packaging: 0.8, ComponentDescriptions: 0.9, VisualClarity: 0.8,
+	}
+	if got := believable.Assess(); got != MaturityBelievable {
+		t.Errorf("strong design = %v", got)
+	}
+	competent := DesignReview{
+		BelievableDescription: 0.7, Interconnections: 0.6, Layering: 0.6,
+		Packaging: 0.6, ComponentDescriptions: 0.6, VisualClarity: 0.6,
+	}
+	if got := competent.Assess(); got != MaturityCompetent {
+		t.Errorf("mid design = %v", got)
+	}
+	if MaturityStudentLike.String() == "" || Maturity(42).String() == "" {
+		t.Error("maturity strings")
+	}
+}
+
+func TestScoreIsMeanProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		r := DesignReview{
+			BelievableDescription: float64(a) / 255,
+			Interconnections:      float64(b) / 255,
+			Layering:              float64(c) / 255,
+			Packaging:             float64(d) / 255,
+			ComponentDescriptions: float64(e) / 255,
+			VisualClarity:         float64(g) / 255,
+		}
+		s := r.Score()
+		return s >= 0 && s <= 1 && r.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,364 @@
+// Package designspace models design-space exploration for MCS (paper §3.3,
+// Figures 6 and 7): a synthetic design space in which candidate designs are
+// points, problems carry hidden satisficing regions, and four exploration
+// processes — free, fix-the-what, fix-the-how, and co-evolving — search it.
+//
+// The co-evolving process reproduces the Figure 7 narrative: a design team
+// struggles on Problem 1 (finding a few solutions among many failures),
+// concludes further exploration is too costly, evolves the problem, and then
+// finds many new solutions relatively easily on Problem 2.
+package designspace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Design is a candidate design: a point in the unit hypercube, each
+// dimension a design decision (technology choice, pattern, parameter).
+type Design []float64
+
+// Problem is a design problem with hidden satisficing regions: a design
+// satisfices when it lands within Radius of any region center.
+type Problem struct {
+	Name    string
+	Dim     int
+	Centers []Design
+	Radius  float64
+}
+
+// NewProblem samples a problem with the given number of hidden regions.
+func NewProblem(name string, dim, regions int, radius float64, r *rand.Rand) (*Problem, error) {
+	if dim < 1 || regions < 1 || radius <= 0 {
+		return nil, fmt.Errorf("designspace: invalid problem dim=%d regions=%d radius=%v", dim, regions, radius)
+	}
+	p := &Problem{Name: name, Dim: dim, Radius: radius}
+	for i := 0; i < regions; i++ {
+		c := make(Design, dim)
+		for d := range c {
+			c[d] = r.Float64()
+		}
+		p.Centers = append(p.Centers, c)
+	}
+	return p, nil
+}
+
+// Score returns the negative distance to the nearest region center (higher
+// is better; 0 is a direct hit).
+func (p *Problem) Score(d Design) float64 {
+	best := math.Inf(1)
+	for _, c := range p.Centers {
+		dist := 0.0
+		for i := range c {
+			dd := c[i] - d[i]
+			dist += dd * dd
+		}
+		if dist < best {
+			best = dist
+		}
+	}
+	return -math.Sqrt(best)
+}
+
+// Satisfices reports whether d lands inside a satisficing region.
+func (p *Problem) Satisfices(d Design) bool {
+	return -p.Score(d) <= p.Radius
+}
+
+// Evolve returns the co-evolved problem: the team reframes (new ecosystem,
+// relaxed constraints), modeled as more regions with a larger radius around
+// the knowledge gained (the old centers are kept and new ones added).
+func (p *Problem) Evolve(extraRegions int, radiusFactor float64, r *rand.Rand) (*Problem, error) {
+	if extraRegions < 0 || radiusFactor <= 0 {
+		return nil, fmt.Errorf("designspace: invalid evolution extra=%d factor=%v", extraRegions, radiusFactor)
+	}
+	np := &Problem{
+		Name:    p.Name + "'",
+		Dim:     p.Dim,
+		Radius:  p.Radius * radiusFactor,
+		Centers: append([]Design(nil), p.Centers...),
+	}
+	for i := 0; i < extraRegions; i++ {
+		c := make(Design, p.Dim)
+		for d := range c {
+			c[d] = r.Float64()
+		}
+		np.Centers = append(np.Centers, c)
+	}
+	return np, nil
+}
+
+// Outcome records one exploration run (one panel of Figure 7).
+type Outcome struct {
+	Process   string
+	Attempts  int
+	Solutions int
+	Failures  int
+	// HitRate is Solutions/Attempts.
+	HitRate float64
+	// BestScore is the best (closest) score seen.
+	BestScore float64
+}
+
+func newOutcome(process string) *Outcome {
+	return &Outcome{Process: process, BestScore: math.Inf(-1)}
+}
+
+func (o *Outcome) record(p *Problem, d Design) bool {
+	o.Attempts++
+	s := p.Score(d)
+	if s > o.BestScore {
+		o.BestScore = s
+	}
+	if p.Satisfices(d) {
+		o.Solutions++
+		return true
+	}
+	o.Failures++
+	return false
+}
+
+func (o *Outcome) finish() {
+	if o.Attempts > 0 {
+		o.HitRate = float64(o.Solutions) / float64(o.Attempts)
+	}
+}
+
+// Explorer is one of the Figure 6 exploration processes.
+type Explorer interface {
+	// Name identifies the process.
+	Name() string
+	// Explore spends budget attempts on the problem.
+	Explore(p *Problem, budget int, r *rand.Rand) *Outcome
+}
+
+// Free is pure exploration: uniform random sampling of the design space.
+// Radical but unlikely to hit small regions ("its likelihood of success is
+// limited by the scale of the design space").
+type Free struct{}
+
+// Name implements Explorer.
+func (Free) Name() string { return "free" }
+
+// Explore implements Explorer.
+func (Free) Explore(p *Problem, budget int, r *rand.Rand) *Outcome {
+	o := newOutcome("free")
+	for i := 0; i < budget; i++ {
+		d := make(Design, p.Dim)
+		for j := range d {
+			d[j] = r.Float64()
+		}
+		o.record(p, d)
+	}
+	o.finish()
+	return o
+}
+
+// FixWhat fixes the concepts/technology: a fraction of the dimensions is
+// pinned to the values of a known reference design; only the remaining
+// dimensions are explored. Less radical, higher likelihood near the
+// reference.
+type FixWhat struct {
+	// Reference is the known design whose leading dimensions are pinned.
+	Reference Design
+	// FixedFraction of dimensions is pinned (0..1).
+	FixedFraction float64
+}
+
+// Name implements Explorer.
+func (FixWhat) Name() string { return "fix-the-what" }
+
+// Explore implements Explorer.
+func (f FixWhat) Explore(p *Problem, budget int, r *rand.Rand) *Outcome {
+	o := newOutcome("fix-the-what")
+	fixed := int(float64(p.Dim) * f.FixedFraction)
+	if fixed > len(f.Reference) {
+		fixed = len(f.Reference)
+	}
+	for i := 0; i < budget; i++ {
+		d := make(Design, p.Dim)
+		for j := range d {
+			if j < fixed {
+				d[j] = f.Reference[j]
+			} else {
+				d[j] = r.Float64()
+			}
+		}
+		o.record(p, d)
+	}
+	o.finish()
+	return o
+}
+
+// FixHow fixes the relationships/framing: exploration proceeds by local
+// mutation (hill climbing) from the best design found so far.
+type FixHow struct {
+	// StepSigma is the mutation scale.
+	StepSigma float64
+}
+
+// Name implements Explorer.
+func (FixHow) Name() string { return "fix-the-how" }
+
+// Explore implements Explorer.
+func (f FixHow) Explore(p *Problem, budget int, r *rand.Rand) *Outcome {
+	o := newOutcome("fix-the-how")
+	sigma := f.StepSigma
+	if sigma <= 0 {
+		sigma = 0.1
+	}
+	cur := make(Design, p.Dim)
+	for j := range cur {
+		cur[j] = r.Float64()
+	}
+	curScore := p.Score(cur)
+	o.record(p, cur)
+	for i := 1; i < budget; i++ {
+		cand := make(Design, p.Dim)
+		for j := range cand {
+			v := cur[j] + sigma*r.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			cand[j] = v
+		}
+		o.record(p, cand)
+		if s := p.Score(cand); s > curScore {
+			cur, curScore = cand, s
+		}
+	}
+	o.finish()
+	return o
+}
+
+// CoEvolving is the Figure 7 process: it explores with an inner process
+// (fix-the-how by default) and, after StallAfter consecutive failures,
+// evolves the problem and continues on the evolved problem.
+type CoEvolving struct {
+	Inner Explorer
+	// StallAfter consecutive failures triggers problem evolution.
+	StallAfter int
+	// ExtraRegions and RadiusFactor parameterize the evolution.
+	ExtraRegions int
+	RadiusFactor float64
+}
+
+// Name implements Explorer.
+func (CoEvolving) Name() string { return "co-evolving" }
+
+// CoEvolvingOutcome extends Outcome with the per-phase split of Figure 7.
+type CoEvolvingOutcome struct {
+	Outcome
+	// Phase1 and Phase2 are the before/after-evolution outcomes.
+	Phase1, Phase2 Outcome
+	Evolved        bool
+}
+
+// Explore implements Explorer (returning the combined outcome; use
+// ExploreDetailed for the phase split).
+func (c CoEvolving) Explore(p *Problem, budget int, r *rand.Rand) *Outcome {
+	det, err := c.ExploreDetailed(p, budget, r)
+	if err != nil {
+		o := newOutcome(c.Name())
+		o.finish()
+		return o
+	}
+	return &det.Outcome
+}
+
+// ExploreDetailed runs the co-evolving process with full phase accounting.
+func (c CoEvolving) ExploreDetailed(p *Problem, budget int, r *rand.Rand) (*CoEvolvingOutcome, error) {
+	inner := c.Inner
+	if inner == nil {
+		inner = FixHow{StepSigma: 0.1}
+	}
+	stall := c.StallAfter
+	if stall <= 0 {
+		stall = budget / 4
+	}
+	out := &CoEvolvingOutcome{Outcome: *newOutcome(c.Name())}
+
+	// Phase 1: explore the original problem until the stall budget is spent.
+	phase1Budget := stall
+	if phase1Budget > budget {
+		phase1Budget = budget
+	}
+	o1 := inner.Explore(p, phase1Budget, r)
+	out.Phase1 = *o1
+
+	remaining := budget - o1.Attempts
+	cur := p
+	if remaining > 0 {
+		// The team decides further exploration is too difficult/costly and
+		// evolves the problem (Figure 7 (b)).
+		extra := c.ExtraRegions
+		if extra == 0 {
+			extra = 3
+		}
+		factor := c.RadiusFactor
+		if factor == 0 {
+			factor = 2
+		}
+		evolved, err := p.Evolve(extra, factor, r)
+		if err != nil {
+			return nil, err
+		}
+		cur = evolved
+		out.Evolved = true
+		o2 := inner.Explore(cur, remaining, r)
+		out.Phase2 = *o2
+	}
+	out.Attempts = out.Phase1.Attempts + out.Phase2.Attempts
+	out.Solutions = out.Phase1.Solutions + out.Phase2.Solutions
+	out.Failures = out.Phase1.Failures + out.Phase2.Failures
+	out.BestScore = math.Max(out.Phase1.BestScore, out.Phase2.BestScore)
+	out.finish()
+	return out, nil
+}
+
+// Figure7Result is the reproduced Figure 7 experiment: all four processes on
+// the same problem and budget.
+type Figure7Result struct {
+	Problem  string
+	Budget   int
+	Outcomes map[string]*Outcome
+	// CoEvolving carries the detailed phase split.
+	CoEvolving *CoEvolvingOutcome
+}
+
+// RunFigure7 executes the comparison.
+func RunFigure7(dim, regions int, radius float64, budget int, seed int64) (*Figure7Result, error) {
+	r := rand.New(rand.NewSource(seed))
+	p, err := NewProblem("problem-1", dim, regions, radius, r)
+	if err != nil {
+		return nil, err
+	}
+	ref := make(Design, dim)
+	copy(ref, p.Centers[0]) // an expert hint: known technology near a region
+	// Perturb the reference so fix-the-what is informed but not an oracle.
+	for i := range ref {
+		ref[i] += 0.05 * r.NormFloat64()
+	}
+
+	res := &Figure7Result{Problem: p.Name, Budget: budget, Outcomes: map[string]*Outcome{}}
+	explorers := []Explorer{
+		Free{},
+		FixWhat{Reference: ref, FixedFraction: 0.5},
+		FixHow{StepSigma: 0.1},
+	}
+	for _, e := range explorers {
+		res.Outcomes[e.Name()] = e.Explore(p, budget, rand.New(rand.NewSource(seed+7)))
+	}
+	co := CoEvolving{StallAfter: budget / 3}
+	det, err := co.ExploreDetailed(p, budget, rand.New(rand.NewSource(seed+7)))
+	if err != nil {
+		return nil, err
+	}
+	res.CoEvolving = det
+	res.Outcomes[co.Name()] = &det.Outcome
+	return res, nil
+}

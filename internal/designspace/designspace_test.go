@@ -1,0 +1,194 @@
+package designspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProblemValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := NewProblem("x", 0, 1, 0.1, r); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := NewProblem("x", 2, 0, 0.1, r); err == nil {
+		t.Error("zero regions accepted")
+	}
+	if _, err := NewProblem("x", 2, 1, 0, r); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestScoreAndSatisfice(t *testing.T) {
+	p := &Problem{Name: "t", Dim: 2, Radius: 0.1, Centers: []Design{{0.5, 0.5}}}
+	if got := p.Score(Design{0.5, 0.5}); got != 0 {
+		t.Errorf("direct hit score = %v, want 0", got)
+	}
+	if !p.Satisfices(Design{0.55, 0.5}) {
+		t.Error("point inside radius not satisficing")
+	}
+	if p.Satisfices(Design{0.9, 0.9}) {
+		t.Error("distant point satisfices")
+	}
+}
+
+func TestScoreMonotoneProperty(t *testing.T) {
+	p := &Problem{Name: "t", Dim: 1, Radius: 0.05, Centers: []Design{{0.5}}}
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		da, db := a-0.5, b-0.5
+		if da < 0 {
+			da = -da
+		}
+		if db < 0 {
+			db = -db
+		}
+		// Closer point must score at least as well.
+		if da <= db {
+			return p.Score(Design{a}) >= p.Score(Design{b})
+		}
+		return p.Score(Design{a}) <= p.Score(Design{b})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvolveGrowsProblem(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p, err := NewProblem("p1", 3, 2, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Evolve(3, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Centers) != 5 {
+		t.Errorf("evolved centers = %d, want 5", len(ev.Centers))
+	}
+	if ev.Radius != 0.1 {
+		t.Errorf("evolved radius = %v, want 0.1", ev.Radius)
+	}
+	if _, err := p.Evolve(-1, 2, r); err == nil {
+		t.Error("negative extra regions accepted")
+	}
+	if _, err := p.Evolve(1, 0, r); err == nil {
+		t.Error("zero radius factor accepted")
+	}
+}
+
+func TestFreeExplorationBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p, err := NewProblem("p", 4, 3, 0.2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Free{}.Explore(p, 100, r)
+	if o.Attempts != 100 {
+		t.Errorf("attempts = %d", o.Attempts)
+	}
+	if o.Solutions+o.Failures != o.Attempts {
+		t.Errorf("solutions %d + failures %d != attempts %d", o.Solutions, o.Failures, o.Attempts)
+	}
+}
+
+func TestFixWhatBeatsFreeWithGoodReference(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p, err := NewProblem("p", 6, 2, 0.15, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(Design, 6)
+	copy(ref, p.Centers[0])
+	freeHits, fixHits := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		rr := rand.New(rand.NewSource(int64(trial)))
+		freeHits += Free{}.Explore(p, 200, rr).Solutions
+		rr = rand.New(rand.NewSource(int64(trial)))
+		fixHits += FixWhat{Reference: ref, FixedFraction: 0.5}.Explore(p, 200, rr).Solutions
+	}
+	if fixHits <= freeHits {
+		t.Errorf("fix-the-what hits %d not above free hits %d", fixHits, freeHits)
+	}
+}
+
+func TestFixHowClimbs(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p, err := NewProblem("p", 4, 1, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := FixHow{StepSigma: 0.1}.Explore(p, 500, rand.New(rand.NewSource(6)))
+	free := Free{}.Explore(p, 500, rand.New(rand.NewSource(6)))
+	// Hill climbing should approach the region at least as closely as
+	// uniform sampling.
+	if o.BestScore < free.BestScore-0.05 {
+		t.Errorf("fix-the-how best %v much worse than free best %v", o.BestScore, free.BestScore)
+	}
+}
+
+func TestCoEvolvingReproducesFigure7(t *testing.T) {
+	res, err := RunFigure7(6, 2, 0.06, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("processes = %d, want 4", len(res.Outcomes))
+	}
+	co := res.CoEvolving
+	if !co.Evolved {
+		t.Fatal("co-evolving did not evolve the problem")
+	}
+	// Figure 7 (b): after evolving the problem, solutions come relatively
+	// easily — the phase-2 hit rate exceeds phase 1's.
+	hr1 := 0.0
+	if co.Phase1.Attempts > 0 {
+		hr1 = float64(co.Phase1.Solutions) / float64(co.Phase1.Attempts)
+	}
+	hr2 := 0.0
+	if co.Phase2.Attempts > 0 {
+		hr2 = float64(co.Phase2.Solutions) / float64(co.Phase2.Attempts)
+	}
+	if hr2 <= hr1 {
+		t.Errorf("phase-2 hit rate %v not above phase-1 %v", hr2, hr1)
+	}
+	// Co-evolving finds more solutions than free exploration on the same
+	// budget.
+	if co.Solutions <= res.Outcomes["free"].Solutions {
+		t.Errorf("co-evolving %d solutions not above free %d",
+			co.Solutions, res.Outcomes["free"].Solutions)
+	}
+}
+
+func TestCoEvolvingBudgetConserved(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p, err := NewProblem("p", 5, 2, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := CoEvolving{StallAfter: 50}
+	det, err := co.ExploreDetailed(p, 300, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Attempts != 300 {
+		t.Errorf("attempts = %d, want full budget 300", det.Attempts)
+	}
+	if det.Phase1.Attempts != 50 {
+		t.Errorf("phase-1 attempts = %d, want stall 50", det.Phase1.Attempts)
+	}
+}
+
+func TestCoEvolvingDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p, err := NewProblem("p", 3, 1, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := CoEvolving{}.Explore(p, 100, rand.New(rand.NewSource(10)))
+	if o.Attempts != 100 {
+		t.Errorf("defaulted co-evolving attempts = %d", o.Attempts)
+	}
+}

@@ -1,0 +1,147 @@
+package faas
+
+import (
+	"fmt"
+
+	"atlarge/internal/sim"
+)
+
+// WorkflowNode is a step in a serverless workflow (Fission-Workflows style):
+// either a task (function invocation) or a composite (sequence / parallel).
+type WorkflowNode struct {
+	// Task names a function; set for leaves.
+	Task string
+	// Sequence runs children one after another.
+	Sequence []*WorkflowNode
+	// Parallel runs children concurrently and joins.
+	Parallel []*WorkflowNode
+}
+
+// Validate checks the node is exactly one of task/sequence/parallel.
+func (n *WorkflowNode) Validate() error {
+	set := 0
+	if n.Task != "" {
+		set++
+	}
+	if len(n.Sequence) > 0 {
+		set++
+	}
+	if len(n.Parallel) > 0 {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("faas: workflow node must be exactly one of task/sequence/parallel")
+	}
+	for _, c := range append(append([]*WorkflowNode{}, n.Sequence...), n.Parallel...) {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tasks returns the leaf function names in execution order.
+func (n *WorkflowNode) Tasks() []string {
+	if n.Task != "" {
+		return []string{n.Task}
+	}
+	var out []string
+	for _, c := range n.Sequence {
+		out = append(out, c.Tasks()...)
+	}
+	for _, c := range n.Parallel {
+		out = append(out, c.Tasks()...)
+	}
+	return out
+}
+
+// Seq builds a sequence node.
+func Seq(children ...*WorkflowNode) *WorkflowNode { return &WorkflowNode{Sequence: children} }
+
+// Par builds a parallel node.
+func Par(children ...*WorkflowNode) *WorkflowNode { return &WorkflowNode{Parallel: children} }
+
+// Task builds a leaf node.
+func Task(fn string) *WorkflowNode { return &WorkflowNode{Task: fn} }
+
+// WorkflowResult records one workflow execution.
+type WorkflowResult struct {
+	Start sim.Time
+	End   sim.Time
+	// Steps is the number of function invocations performed.
+	Steps int
+	// OrchestrationOverhead is the total engine-added delay (s).
+	OrchestrationOverhead float64
+}
+
+// Duration returns the workflow makespan in seconds.
+func (r WorkflowResult) Duration() float64 { return float64(r.End - r.Start) }
+
+// Engine executes workflows on a Platform, adding a fixed orchestration
+// latency before each function invocation (the scheduling/state-store hop of
+// a workflow engine).
+type Engine struct {
+	Platform *Platform
+	// StepOverhead is the orchestration delay per invocation (s).
+	StepOverhead float64
+}
+
+// ScheduleWorkflow registers a workflow execution starting at the given
+// time; the result lands in results when the simulation runs.
+func (e *Engine) ScheduleWorkflow(at sim.Time, wf *WorkflowNode, onDone func(WorkflowResult)) error {
+	if err := wf.Validate(); err != nil {
+		return err
+	}
+	// Pre-validate all referenced functions.
+	for _, fn := range wf.Tasks() {
+		if _, ok := e.Platform.functions[fn]; !ok {
+			return fmt.Errorf("faas: workflow references unknown function %q", fn)
+		}
+	}
+	e.Platform.Kernel().At(at, "workflow-start", func(k *sim.Kernel) {
+		res := &WorkflowResult{Start: k.Now()}
+		e.exec(wf, res, func() {
+			res.End = e.Platform.Kernel().Now()
+			if onDone != nil {
+				onDone(*res)
+			}
+		})
+	})
+	return nil
+}
+
+// exec runs a node and calls done when it (and all children) complete.
+func (e *Engine) exec(n *WorkflowNode, res *WorkflowResult, done func()) {
+	k := e.Platform.Kernel()
+	switch {
+	case n.Task != "":
+		res.Steps++
+		res.OrchestrationOverhead += e.StepOverhead
+		k.After(sim.Duration(e.StepOverhead), "orchestrate", func(k *sim.Kernel) {
+			// The error was pre-validated in ScheduleWorkflow.
+			_ = e.Platform.ScheduleInvocation(k.Now(), n.Task, func(Invocation) { done() })
+		})
+	case len(n.Sequence) > 0:
+		var runFrom func(i int)
+		runFrom = func(i int) {
+			if i == len(n.Sequence) {
+				done()
+				return
+			}
+			e.exec(n.Sequence[i], res, func() { runFrom(i + 1) })
+		}
+		runFrom(0)
+	case len(n.Parallel) > 0:
+		remaining := len(n.Parallel)
+		for _, c := range n.Parallel {
+			e.exec(c, res, func() {
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			})
+		}
+	default:
+		done()
+	}
+}

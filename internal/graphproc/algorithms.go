@@ -1,0 +1,331 @@
+package graphproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile records how an algorithm executed on a graph: the information a
+// Granula-style fine-grained performance analyzer extracts, and the input to
+// every platform cost model.
+type Profile struct {
+	Algorithm string
+	Dataset   string
+	// Iterations is the number of supersteps (BSP rounds).
+	Iterations int
+	// ActivePerIter is the number of active vertices per superstep.
+	ActivePerIter []int64
+	// EdgesPerIter is the number of edges scanned per superstep.
+	EdgesPerIter []int64
+	// ComputeUnits is extra per-vertex arithmetic beyond edge scans
+	// (e.g., LCC's triangle intersections).
+	ComputeUnits float64
+}
+
+// TotalActive sums active vertices over supersteps.
+func (p *Profile) TotalActive() int64 {
+	var s int64
+	for _, v := range p.ActivePerIter {
+		s += v
+	}
+	return s
+}
+
+// TotalEdges sums scanned edges over supersteps.
+func (p *Profile) TotalEdges() int64 {
+	var s int64
+	for _, v := range p.EdgesPerIter {
+		s += v
+	}
+	return s
+}
+
+// Algorithm names; the "A" of the PAD triangle (the Graphalytics six).
+const (
+	AlgoBFS      = "BFS"
+	AlgoPageRank = "PR"
+	AlgoWCC      = "WCC"
+	AlgoCDLP     = "CDLP"
+	AlgoLCC      = "LCC"
+	AlgoSSSP     = "SSSP"
+)
+
+// Algorithms lists the Graphalytics algorithm names in canonical order.
+func Algorithms() []string {
+	return []string{AlgoBFS, AlgoPageRank, AlgoWCC, AlgoCDLP, AlgoLCC, AlgoSSSP}
+}
+
+// RunAlgorithm executes the named algorithm and returns its result vector
+// and execution profile. BFS/SSSP start from vertex 0.
+func RunAlgorithm(name string, g *Graph) ([]float64, *Profile, error) {
+	switch name {
+	case AlgoBFS:
+		return BFS(g, 0)
+	case AlgoPageRank:
+		return PageRank(g, 0.85, 20)
+	case AlgoWCC:
+		return WCC(g)
+	case AlgoCDLP:
+		return CDLP(g, 10)
+	case AlgoLCC:
+		return LCC(g)
+	case AlgoSSSP:
+		return SSSP(g, 0)
+	default:
+		return nil, nil, fmt.Errorf("graphproc: unknown algorithm %q", name)
+	}
+}
+
+// BFS returns the hop distance from src (-1 encoded as +Inf for unreached).
+func BFS(g *Graph, src int) ([]float64, *Profile, error) {
+	if src < 0 || src >= g.N {
+		return nil, nil, fmt.Errorf("graphproc: bfs source %d out of range", src)
+	}
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	prof := &Profile{Algorithm: AlgoBFS, Dataset: g.Name}
+	frontier := []int32{int32(src)}
+	for level := 1; len(frontier) > 0; level++ {
+		var edges int64
+		var next []int32
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(int(v)) {
+				edges++
+				if math.IsInf(dist[u], 1) {
+					dist[u] = float64(level)
+					next = append(next, u)
+				}
+			}
+		}
+		prof.Iterations++
+		prof.ActivePerIter = append(prof.ActivePerIter, int64(len(frontier)))
+		prof.EdgesPerIter = append(prof.EdgesPerIter, edges)
+		frontier = next
+	}
+	return dist, prof, nil
+}
+
+// PageRank runs the classic damped power iteration for iters supersteps.
+func PageRank(g *Graph, damping float64, iters int) ([]float64, *Profile, error) {
+	if iters < 1 {
+		return nil, nil, fmt.Errorf("graphproc: pagerank iterations %d", iters)
+	}
+	n := float64(g.N)
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for i := range rank {
+		rank[i] = 1 / n
+	}
+	prof := &Profile{Algorithm: AlgoPageRank, Dataset: g.Name}
+	for it := 0; it < iters; it++ {
+		var edges int64
+		base := (1 - damping) / n
+		for i := range next {
+			next[i] = base
+		}
+		dangling := 0.0
+		for v := 0; v < g.N; v++ {
+			nb := g.Neighbors(v)
+			if len(nb) == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := damping * rank[v] / float64(len(nb))
+			for _, u := range nb {
+				next[u] += share
+				edges++
+			}
+		}
+		spread := damping * dangling / n
+		for i := range next {
+			next[i] += spread
+		}
+		rank, next = next, rank
+		prof.Iterations++
+		prof.ActivePerIter = append(prof.ActivePerIter, int64(g.N))
+		prof.EdgesPerIter = append(prof.EdgesPerIter, edges)
+	}
+	return rank, prof, nil
+}
+
+// WCC computes weakly connected components by label propagation over the
+// symmetrized neighborhood (out-edges only in this CSR; the generators emit
+// both directions for undirected topologies).
+func WCC(g *Graph) ([]float64, *Profile, error) {
+	label := make([]float64, g.N)
+	for i := range label {
+		label[i] = float64(i)
+	}
+	prof := &Profile{Algorithm: AlgoWCC, Dataset: g.Name}
+	active := make([]bool, g.N)
+	nActive := int64(g.N)
+	for i := range active {
+		active[i] = true
+	}
+	for nActive > 0 {
+		var edges int64
+		nextActive := make([]bool, g.N)
+		var nNext int64
+		for v := 0; v < g.N; v++ {
+			if !active[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				edges++
+				if label[v] < label[u] {
+					label[u] = label[v]
+					if !nextActive[u] {
+						nextActive[u] = true
+						nNext++
+					}
+				} else if label[u] < label[v] {
+					label[v] = label[u]
+					if !nextActive[v] {
+						nextActive[v] = true
+						nNext++
+					}
+				}
+			}
+		}
+		prof.Iterations++
+		prof.ActivePerIter = append(prof.ActivePerIter, nActive)
+		prof.EdgesPerIter = append(prof.EdgesPerIter, edges)
+		active = nextActive
+		nActive = nNext
+	}
+	return label, prof, nil
+}
+
+// CDLP is community detection by synchronous label propagation for iters
+// rounds: each vertex adopts the most frequent label among its neighbors.
+func CDLP(g *Graph, iters int) ([]float64, *Profile, error) {
+	if iters < 1 {
+		return nil, nil, fmt.Errorf("graphproc: cdlp iterations %d", iters)
+	}
+	label := make([]float64, g.N)
+	for i := range label {
+		label[i] = float64(i)
+	}
+	prof := &Profile{Algorithm: AlgoCDLP, Dataset: g.Name}
+	next := make([]float64, g.N)
+	for it := 0; it < iters; it++ {
+		var edges int64
+		for v := 0; v < g.N; v++ {
+			nb := g.Neighbors(v)
+			if len(nb) == 0 {
+				next[v] = label[v]
+				continue
+			}
+			counts := make(map[float64]int, len(nb))
+			for _, u := range nb {
+				counts[label[u]]++
+				edges++
+			}
+			best, bestC := label[v], 0
+			for l, c := range counts {
+				if c > bestC || (c == bestC && l < best) {
+					best, bestC = l, c
+				}
+			}
+			next[v] = best
+		}
+		label, next = next, label
+		prof.Iterations++
+		prof.ActivePerIter = append(prof.ActivePerIter, int64(g.N))
+		prof.EdgesPerIter = append(prof.EdgesPerIter, edges)
+	}
+	return label, prof, nil
+}
+
+// LCC computes the local clustering coefficient per vertex via sorted
+// adjacency intersection; compute-heavy (the ComputeUnits term dominates).
+func LCC(g *Graph) ([]float64, *Profile, error) {
+	out := make([]float64, g.N)
+	prof := &Profile{Algorithm: AlgoLCC, Dataset: g.Name, Iterations: 1}
+	var edges int64
+	var work float64
+	for v := 0; v < g.N; v++ {
+		nb := g.Neighbors(v)
+		edges += int64(len(nb))
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for _, u := range nb {
+			// Intersect neighbor lists (both sorted).
+			links += intersectCount(nb, g.Neighbors(int(u)))
+			work += float64(d + g.Degree(int(u)))
+		}
+		out[v] = float64(links) / float64(d*(d-1))
+	}
+	prof.ActivePerIter = []int64{int64(g.N)}
+	prof.EdgesPerIter = []int64{edges}
+	prof.ComputeUnits = work
+	return out, prof, nil
+}
+
+// intersectCount counts common elements of two sorted int32 slices.
+func intersectCount(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// SSSP computes single-source shortest paths with iterative Bellman–Ford
+// using an active frontier (weights default to 1 when the graph is
+// unweighted).
+func SSSP(g *Graph, src int) ([]float64, *Profile, error) {
+	if src < 0 || src >= g.N {
+		return nil, nil, fmt.Errorf("graphproc: sssp source %d out of range", src)
+	}
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	prof := &Profile{Algorithm: AlgoSSSP, Dataset: g.Name}
+	frontier := []int32{int32(src)}
+	for len(frontier) > 0 && prof.Iterations < g.N {
+		var edges int64
+		inNext := make(map[int32]bool)
+		var next []int32
+		for _, v := range frontier {
+			nb := g.Neighbors(int(v))
+			wt := g.EdgeWeights(int(v))
+			for i, u := range nb {
+				edges++
+				w := 1.0
+				if wt != nil {
+					w = float64(wt[i])
+				}
+				if d := dist[v] + w; d < dist[u] {
+					dist[u] = d
+					if !inNext[u] {
+						inNext[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		prof.Iterations++
+		prof.ActivePerIter = append(prof.ActivePerIter, int64(len(frontier)))
+		prof.EdgesPerIter = append(prof.EdgesPerIter, edges)
+		frontier = next
+	}
+	return dist, prof, nil
+}

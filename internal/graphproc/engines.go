@@ -1,0 +1,85 @@
+package graphproc
+
+import "fmt"
+
+// Engine is a graph-processing platform model; the "P" of the PAD triangle.
+// Engines map an execution profile to a modeled runtime (milliseconds).
+// The cost structures are the stylized architectures of the Graphalytics
+// platform set:
+//
+//   - vertex-sequential: one thread, cost follows total traversed edges —
+//     no per-superstep overhead, great for small or frontier-sparse work.
+//   - vertex-parallel: a BSP worker pool — edge work divides by workers but
+//     every superstep pays a barrier, so high-diameter graphs (many
+//     supersteps, tiny frontiers) lose the parallel advantage.
+//   - edge-centric: streams the full edge list every superstep (X-Stream
+//     style) — superb bandwidth, but pays |E| per superstep even when the
+//     frontier is tiny.
+//   - gpu-offload: very high throughput per edge and compute unit, but a
+//     fixed kernel-launch/transfer latency per superstep — wins on few-
+//     superstep full-graph algorithms, loses on deep traversals.
+type Engine struct {
+	Name string
+	// Cost coefficients, in ms.
+	PerEdge       float64 // per scanned edge (profile-driven)
+	PerActive     float64 // per active vertex
+	PerStep       float64 // per superstep (barrier / kernel launch)
+	PerCompute    float64 // per compute unit (LCC arithmetic)
+	FullSweep     bool    // pays |E| per superstep instead of frontier edges
+	Workers       int     // parallel division of edge/active/compute work
+	Heterogeneous bool    // marks the "H" platforms of the HPAD extension
+}
+
+// StandardEngines returns the four platforms of the Table 8 reproduction.
+func StandardEngines() []Engine {
+	return []Engine{
+		{
+			Name: "vertex-seq", PerEdge: 1e-4, PerActive: 2e-4, PerStep: 0.0,
+			PerCompute: 1e-4, Workers: 1,
+		},
+		{
+			Name: "vertex-par", PerEdge: 1e-4, PerActive: 2e-4, PerStep: 0.8,
+			PerCompute: 1e-4, Workers: 8,
+		},
+		{
+			Name: "edge-centric", PerEdge: 2.5e-5, PerActive: 1e-4, PerStep: 0.2,
+			PerCompute: 2e-4, Workers: 1, FullSweep: true,
+		},
+		{
+			Name: "gpu-offload", PerEdge: 4e-6, PerActive: 1e-5, PerStep: 5.0,
+			PerCompute: 4e-6, Workers: 1, FullSweep: true, Heterogeneous: true,
+		},
+	}
+}
+
+// Runtime models the wall time (ms) of executing the profiled run on the
+// engine over a graph with m total edges.
+func (e Engine) Runtime(p *Profile, m int) float64 {
+	workers := float64(e.Workers)
+	if workers < 1 {
+		workers = 1
+	}
+	t := 0.0
+	for i := 0; i < p.Iterations; i++ {
+		edges := float64(p.EdgesPerIter[i])
+		if e.FullSweep {
+			edges = float64(m)
+		}
+		active := float64(p.ActivePerIter[i])
+		t += (edges*e.PerEdge + active*e.PerActive) / workers
+		t += e.PerStep
+	}
+	t += p.ComputeUnits * e.PerCompute / workers
+	return t
+}
+
+// Validate sanity-checks the engine parameters.
+func (e Engine) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("graphproc: engine without name")
+	}
+	if e.PerEdge < 0 || e.PerActive < 0 || e.PerStep < 0 || e.PerCompute < 0 {
+		return fmt.Errorf("graphproc: engine %s has negative coefficients", e.Name)
+	}
+	return nil
+}

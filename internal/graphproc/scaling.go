@@ -1,0 +1,56 @@
+package graphproc
+
+// Strong-scaling analysis: the elasticity direction of the Graphalytics
+// research line (Table 8, Uta et al. CLUSTER'18). For a BSP engine, edge and
+// vertex work divide across workers but every superstep pays a barrier, so
+// speedup saturates at a level set by the workload's superstep count —
+// high-diameter traversals stop scaling far earlier than full-sweep
+// algorithms.
+
+// ScalingPoint is one point of a strong-scaling curve.
+type ScalingPoint struct {
+	Workers   int
+	RuntimeMS float64
+	Speedup   float64 // runtime(1 worker) / runtime(n workers)
+}
+
+// ScalingCurve prices the profiled run on a vertex-parallel engine at each
+// worker count and returns the speedup curve. The base engine's coefficients
+// are used; only Workers varies.
+func ScalingCurve(base Engine, p *Profile, m int, workerCounts []int) []ScalingPoint {
+	single := base
+	single.Workers = 1
+	t1 := single.Runtime(p, m)
+	out := make([]ScalingPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		e := base
+		e.Workers = w
+		t := e.Runtime(p, m)
+		sp := ScalingPoint{Workers: w, RuntimeMS: t}
+		if t > 0 {
+			sp.Speedup = t1 / t
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// SaturationWorkers returns the smallest worker count beyond which adding
+// workers improves runtime by less than threshold (relative), i.e. where the
+// curve flattens. It returns the largest measured count when the curve never
+// flattens.
+func SaturationWorkers(curve []ScalingPoint, threshold float64) int {
+	for i := 1; i < len(curve); i++ {
+		prev, cur := curve[i-1].RuntimeMS, curve[i].RuntimeMS
+		if prev <= 0 {
+			continue
+		}
+		if (prev-cur)/prev < threshold {
+			return curve[i-1].Workers
+		}
+	}
+	if len(curve) == 0 {
+		return 0
+	}
+	return curve[len(curve)-1].Workers
+}

@@ -1,0 +1,90 @@
+package graphproc
+
+import "testing"
+
+func parallelBase() Engine {
+	return Engine{Name: "vertex-par", PerEdge: 1e-4, PerActive: 2e-4, PerStep: 0.8, PerCompute: 1e-4, Workers: 8}
+}
+
+func TestScalingCurveMonotone(t *testing.T) {
+	g, err := Generate(DatasetRMAT, 1000, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prof, err := PageRank(g, 0.85, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := ScalingCurve(parallelBase(), prof, g.M(), []int{1, 2, 4, 8, 16, 32})
+	if len(curve) != 6 {
+		t.Fatalf("points = %d", len(curve))
+	}
+	if curve[0].Speedup != 1 {
+		t.Errorf("speedup at 1 worker = %v", curve[0].Speedup)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].RuntimeMS > curve[i-1].RuntimeMS+1e-9 {
+			t.Errorf("runtime increased with workers: %v -> %v", curve[i-1], curve[i])
+		}
+		if curve[i].Speedup < curve[i-1].Speedup-1e-9 {
+			t.Errorf("speedup decreased: %v -> %v", curve[i-1], curve[i])
+		}
+	}
+	// Speedup is bounded by the worker count (no superlinearity in a cost
+	// model with barriers).
+	for _, pt := range curve {
+		if pt.Speedup > float64(pt.Workers)+1e-9 {
+			t.Errorf("superlinear speedup %v at %d workers", pt.Speedup, pt.Workers)
+		}
+	}
+}
+
+func TestDeepTraversalSaturatesEarlier(t *testing.T) {
+	lattice, err := Generate(DatasetLattice, 2500, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmat, err := Generate(DatasetRMAT, 2500, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, latProf, err := BFS(lattice, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prProf, err := PageRank(rmat, 0.85, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	latCurve := ScalingCurve(parallelBase(), latProf, lattice.M(), counts)
+	prCurve := ScalingCurve(parallelBase(), prProf, rmat.M(), counts)
+	latSat := SaturationWorkers(latCurve, 0.05)
+	prSat := SaturationWorkers(prCurve, 0.05)
+	// Lattice BFS has ~100 supersteps with tiny frontiers: barrier-bound, it
+	// must stop scaling before barrier-light PageRank on a low-diameter
+	// graph.
+	if latSat >= prSat {
+		t.Errorf("lattice BFS saturates at %d workers, PageRank at %d; want earlier saturation for deep traversal",
+			latSat, prSat)
+	}
+	// And its peak speedup must be lower.
+	if latCurve[len(latCurve)-1].Speedup >= prCurve[len(prCurve)-1].Speedup {
+		t.Errorf("deep traversal peak speedup %.1f not below full-sweep %.1f",
+			latCurve[len(latCurve)-1].Speedup, prCurve[len(prCurve)-1].Speedup)
+	}
+}
+
+func TestSaturationWorkersEdgeCases(t *testing.T) {
+	if got := SaturationWorkers(nil, 0.05); got != 0 {
+		t.Errorf("empty curve saturation = %d", got)
+	}
+	flat := []ScalingPoint{{Workers: 1, RuntimeMS: 100}, {Workers: 2, RuntimeMS: 99.9}}
+	if got := SaturationWorkers(flat, 0.05); got != 1 {
+		t.Errorf("flat curve saturation = %d, want 1", got)
+	}
+	steep := []ScalingPoint{{Workers: 1, RuntimeMS: 100}, {Workers: 2, RuntimeMS: 50}}
+	if got := SaturationWorkers(steep, 0.05); got != 2 {
+		t.Errorf("steep curve saturation = %d, want 2 (never flattens)", got)
+	}
+}

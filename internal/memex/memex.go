@@ -1,0 +1,267 @@
+// Package memex implements two of the paper's proposed future-work systems:
+// the Distributed Systems Memex (challenge C6) — an archive of operational
+// traces and design artifacts of distributed systems — and a formalism for
+// documenting design provenance (challenge C8): what decisions were taken,
+// by whom, derived from what, and with which alternatives rejected.
+//
+// The paper argues the community is "losing valuable heritage by not
+// preserving the artifacts of design, the decisions that lead to them, and
+// the thoughts and discussions that led to these designs." A Memex stores
+// those artifacts as linked entries; derivation links form a DAG whose
+// lineage can be replayed.
+package memex
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"atlarge/internal/core"
+)
+
+// Kind classifies a Memex entry.
+type Kind string
+
+// Entry kinds: the artifact classes the paper's C6/C8 discussion names.
+const (
+	KindDesign     Kind = "design"     // a design artifact (architecture, spec)
+	KindDecision   Kind = "decision"   // a design decision with rationale
+	KindTrace      Kind = "trace"      // an operational/workload trace reference
+	KindDiscussion Kind = "discussion" // the thoughts and debates behind a design
+	KindExperiment Kind = "experiment" // an analysis or measurement campaign
+)
+
+// validKinds is the closed set of kinds.
+var validKinds = map[Kind]bool{
+	KindDesign: true, KindDecision: true, KindTrace: true,
+	KindDiscussion: true, KindExperiment: true,
+}
+
+// Entry is one archived artifact.
+type Entry struct {
+	ID    string   `json:"id"`
+	Kind  Kind     `json:"kind"`
+	Title string   `json:"title"`
+	Body  string   `json:"body,omitempty"`
+	Tags  []string `json:"tags,omitempty"`
+	// DerivedFrom lists the IDs this entry builds on (provenance edges;
+	// must form a DAG).
+	DerivedFrom []string `json:"derived_from,omitempty"`
+	// Rejected lists alternatives considered and rejected, with reasons —
+	// the intangibles C8 says are never revealed.
+	Rejected []RejectedAlternative `json:"rejected,omitempty"`
+	// Sequence is the insertion index (a logical clock).
+	Sequence int `json:"sequence"`
+}
+
+// RejectedAlternative documents a road not taken.
+type RejectedAlternative struct {
+	Title  string `json:"title"`
+	Reason string `json:"reason"`
+}
+
+// Memex is the archive. The zero value is not usable; construct with New.
+type Memex struct {
+	entries map[string]*Entry
+	order   []string
+	seq     int
+}
+
+// New returns an empty Memex.
+func New() *Memex {
+	return &Memex{entries: make(map[string]*Entry)}
+}
+
+// Add archives an entry. The ID must be unique, the kind known, and every
+// DerivedFrom link must resolve to an existing entry (provenance is
+// append-only, so links can only point backward — which also guarantees the
+// derivation graph is a DAG).
+func (m *Memex) Add(e Entry) error {
+	if e.ID == "" {
+		return fmt.Errorf("memex: entry without id")
+	}
+	if !validKinds[e.Kind] {
+		return fmt.Errorf("memex: entry %q has unknown kind %q", e.ID, e.Kind)
+	}
+	if _, dup := m.entries[e.ID]; dup {
+		return fmt.Errorf("memex: duplicate entry %q", e.ID)
+	}
+	for _, dep := range e.DerivedFrom {
+		if _, ok := m.entries[dep]; !ok {
+			return fmt.Errorf("memex: entry %q derived from missing %q", e.ID, dep)
+		}
+	}
+	m.seq++
+	e.Sequence = m.seq
+	cp := e
+	m.entries[e.ID] = &cp
+	m.order = append(m.order, e.ID)
+	return nil
+}
+
+// Get retrieves an entry.
+func (m *Memex) Get(id string) (Entry, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Len returns the number of entries.
+func (m *Memex) Len() int { return len(m.entries) }
+
+// ByKind returns entries of one kind in insertion order.
+func (m *Memex) ByKind(k Kind) []Entry {
+	var out []Entry
+	for _, id := range m.order {
+		if e := m.entries[id]; e.Kind == k {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// ByTag returns entries carrying the tag, in insertion order.
+func (m *Memex) ByTag(tag string) []Entry {
+	var out []Entry
+	for _, id := range m.order {
+		e := m.entries[id]
+		for _, t := range e.Tags {
+			if t == tag {
+				out = append(out, *e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Lineage returns the full provenance ancestry of an entry (transitive
+// DerivedFrom closure), ordered oldest first. Unknown IDs are an error.
+func (m *Memex) Lineage(id string) ([]Entry, error) {
+	if _, ok := m.entries[id]; !ok {
+		return nil, fmt.Errorf("memex: unknown entry %q", id)
+	}
+	seen := map[string]bool{}
+	var visit func(id string)
+	var ids []string
+	visit = func(cur string) {
+		for _, dep := range m.entries[cur].DerivedFrom {
+			if !seen[dep] {
+				seen[dep] = true
+				visit(dep)
+				ids = append(ids, dep)
+			}
+		}
+	}
+	visit(id)
+	out := make([]Entry, 0, len(ids))
+	for _, i := range ids {
+		out = append(out, *m.entries[i])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Sequence < out[b].Sequence })
+	return out, nil
+}
+
+// Descendants returns all entries that (transitively) derive from id,
+// in insertion order.
+func (m *Memex) Descendants(id string) ([]Entry, error) {
+	if _, ok := m.entries[id]; !ok {
+		return nil, fmt.Errorf("memex: unknown entry %q", id)
+	}
+	derives := map[string]bool{id: true}
+	var out []Entry
+	for _, cur := range m.order {
+		e := m.entries[cur]
+		for _, dep := range e.DerivedFrom {
+			if derives[dep] {
+				derives[e.ID] = true
+				out = append(out, *e)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Export writes the archive as JSON lines in insertion order (the FOAD
+// sharing format of §3.6).
+func (m *Memex) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, id := range m.order {
+		if err := enc.Encode(m.entries[id]); err != nil {
+			return fmt.Errorf("memex: export: %w", err)
+		}
+	}
+	return nil
+}
+
+// Import reads a JSON-lines archive into a fresh Memex, re-validating every
+// entry (provenance links must still resolve in order).
+func Import(r io.Reader) (*Memex, error) {
+	dec := json.NewDecoder(r)
+	m := New()
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("memex: import: %w", err)
+		}
+		if err := m.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RecordBDC archives a Basic Design Cycle trace as provenance: one decision
+// entry per iteration (deriving from the previous iteration) and one design
+// entry per satisficing solution, all derived from a root design-problem
+// entry. It returns the root entry ID.
+func (m *Memex) RecordBDC(name string, tr *core.Trace) (string, error) {
+	root := fmt.Sprintf("%s/problem", name)
+	if err := m.Add(Entry{
+		ID:    root,
+		Kind:  KindDiscussion,
+		Title: fmt.Sprintf("design problem %q", name),
+		Tags:  []string{"bdc", name},
+	}); err != nil {
+		return "", err
+	}
+	prev := root
+	for _, it := range tr.Iterations {
+		id := fmt.Sprintf("%s/iter-%d", name, it.Iteration)
+		executed := make([]string, len(it.Executed))
+		for i, s := range it.Executed {
+			executed[i] = s.String()
+		}
+		if err := m.Add(Entry{
+			ID:          id,
+			Kind:        KindDecision,
+			Title:       fmt.Sprintf("iteration %d: %d stages, %d new solutions, %d failures", it.Iteration, len(it.Executed), it.NewSolutions, it.NewFailures),
+			Body:        fmt.Sprintf("stages executed: %v", executed),
+			Tags:        []string{"bdc", name},
+			DerivedFrom: []string{prev},
+		}); err != nil {
+			return "", err
+		}
+		prev = id
+	}
+	for i, sol := range tr.Solutions {
+		id := fmt.Sprintf("%s/solution-%d", name, i+1)
+		if err := m.Add(Entry{
+			ID:          id,
+			Kind:        KindDesign,
+			Title:       sol.Name,
+			Body:        fmt.Sprintf("score %.3f, stop reason: %s", sol.Score, tr.Stop),
+			Tags:        []string{"bdc", name, "satisficing"},
+			DerivedFrom: []string{prev},
+		}); err != nil {
+			return "", err
+		}
+	}
+	return root, nil
+}

@@ -1,0 +1,186 @@
+package memex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atlarge/internal/core"
+)
+
+func TestAddValidation(t *testing.T) {
+	m := New()
+	if err := m.Add(Entry{Kind: KindDesign, Title: "x"}); err == nil {
+		t.Error("entry without id accepted")
+	}
+	if err := m.Add(Entry{ID: "a", Kind: Kind("bogus")}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := m.Add(Entry{ID: "a", Kind: KindDesign, DerivedFrom: []string{"ghost"}}); err == nil {
+		t.Error("dangling provenance link accepted")
+	}
+	if err := m.Add(Entry{ID: "a", Kind: KindDesign}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Entry{ID: "a", Kind: KindTrace}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestGetAndQueries(t *testing.T) {
+	m := New()
+	must := func(e Entry) {
+		t.Helper()
+		if err := m.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Entry{ID: "t1", Kind: KindTrace, Title: "grid trace", Tags: []string{"grid"}})
+	must(Entry{ID: "d1", Kind: KindDesign, Title: "scheduler v1", Tags: []string{"sched"}, DerivedFrom: []string{"t1"}})
+	must(Entry{ID: "d2", Kind: KindDesign, Title: "scheduler v2", Tags: []string{"sched", "grid"}, DerivedFrom: []string{"d1"}})
+
+	if e, ok := m.Get("d1"); !ok || e.Title != "scheduler v1" {
+		t.Errorf("Get(d1) = %+v, %v", e, ok)
+	}
+	if _, ok := m.Get("nope"); ok {
+		t.Error("phantom entry found")
+	}
+	if got := m.ByKind(KindDesign); len(got) != 2 || got[0].ID != "d1" {
+		t.Errorf("ByKind = %+v", got)
+	}
+	if got := m.ByTag("grid"); len(got) != 2 {
+		t.Errorf("ByTag(grid) = %d entries", len(got))
+	}
+}
+
+func TestLineageAndDescendants(t *testing.T) {
+	m := New()
+	for _, e := range []Entry{
+		{ID: "root", Kind: KindDiscussion},
+		{ID: "mid", Kind: KindDecision, DerivedFrom: []string{"root"}},
+		{ID: "leafA", Kind: KindDesign, DerivedFrom: []string{"mid"}},
+		{ID: "leafB", Kind: KindDesign, DerivedFrom: []string{"mid", "root"}},
+		{ID: "other", Kind: KindTrace},
+	} {
+		if err := m.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lin, err := m.Lineage("leafA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 2 || lin[0].ID != "root" || lin[1].ID != "mid" {
+		t.Errorf("Lineage(leafA) = %+v", lin)
+	}
+	lin, err = m.Lineage("leafB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 2 {
+		t.Errorf("Lineage(leafB) dedup failed: %+v", lin)
+	}
+	desc, err := m.Descendants("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 3 {
+		t.Errorf("Descendants(root) = %d, want 3", len(desc))
+	}
+	if _, err := m.Lineage("ghost"); err == nil {
+		t.Error("lineage of unknown entry accepted")
+	}
+	if _, err := m.Descendants("ghost"); err == nil {
+		t.Error("descendants of unknown entry accepted")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := New()
+	for _, e := range []Entry{
+		{ID: "a", Kind: KindTrace, Title: "t", Tags: []string{"x"}},
+		{ID: "b", Kind: KindDesign, Title: "d", DerivedFrom: []string{"a"},
+			Rejected: []RejectedAlternative{{Title: "alt", Reason: "too slow"}}},
+	} {
+		if err := m.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 2 {
+		t.Fatalf("imported %d entries", m2.Len())
+	}
+	b, ok := m2.Get("b")
+	if !ok || len(b.Rejected) != 1 || b.Rejected[0].Reason != "too slow" {
+		t.Errorf("entry b = %+v", b)
+	}
+	if _, err := Import(strings.NewReader("{broken")); err == nil {
+		t.Error("broken archive accepted")
+	}
+	// An archive whose links point forward must be rejected.
+	bad := `{"id":"x","kind":"design","derived_from":["y"]}` + "\n" + `{"id":"y","kind":"trace"}` + "\n"
+	if _, err := Import(strings.NewReader(bad)); err == nil {
+		t.Error("forward-linked archive accepted")
+	}
+}
+
+func TestRecordBDC(t *testing.T) {
+	n := 0
+	cy := &core.Cycle{
+		Name: "demo",
+		Stages: map[core.Stage]core.StageFunc{
+			core.StageDesign: func(ctx *core.Context) error {
+				n++
+				ctx.AddSolution(core.Artifact{Name: "v", Score: float64(n), Satisficing: n >= 3})
+				return nil
+			},
+		},
+		Stop: core.StoppingCriteria{SatisficeAfter: 1, MaxIterations: 10},
+	}
+	tr, err := cy.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	root, err := m.RecordBDC("demo", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 root + 3 iterations + 1 solution.
+	if m.Len() != 5 {
+		t.Fatalf("entries = %d, want 5", m.Len())
+	}
+	desc, err := m.Descendants(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 4 {
+		t.Errorf("descendants = %d, want 4", len(desc))
+	}
+	sols := m.ByTag("satisficing")
+	if len(sols) != 1 {
+		t.Fatalf("satisficing designs = %d", len(sols))
+	}
+	lin, err := m.Lineage(sols[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solution's lineage replays root + every iteration.
+	if len(lin) != 4 || lin[0].ID != root {
+		t.Errorf("solution lineage = %+v", lin)
+	}
+	// Recording the same name twice collides on IDs.
+	if _, err := m.RecordBDC("demo", tr); err == nil {
+		t.Error("duplicate BDC recording accepted")
+	}
+}

@@ -1,0 +1,301 @@
+package mmog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateWorld(t *testing.T) {
+	cfg := DefaultWorldConfig(500)
+	w := GenerateWorld(cfg)
+	if len(w.Entities) != 500 {
+		t.Fatalf("entities = %d", len(w.Entities))
+	}
+	if len(w.POIs) != cfg.POIs {
+		t.Fatalf("POIs = %d", len(w.POIs))
+	}
+	for _, e := range w.Entities {
+		if e.X < 0 || e.X >= cfg.Size || e.Y < 0 || e.Y >= cfg.Size {
+			t.Fatalf("entity %d out of bounds: (%v,%v)", e.ID, e.X, e.Y)
+		}
+	}
+}
+
+func TestPairLoadQuadraticInCluster(t *testing.T) {
+	// All entities co-located: load ~ n(n-1)/2.
+	mk := func(n int) []Entity {
+		es := make([]Entity, n)
+		for i := range es {
+			es[i] = Entity{ID: i, X: 10, Y: 10, Actionable: true}
+		}
+		return es
+	}
+	l10 := pairLoad(mk(10))
+	l20 := pairLoad(mk(20))
+	if l20 < 3.5*l10 {
+		t.Errorf("load not superlinear: l10=%v l20=%v", l10, l20)
+	}
+}
+
+func TestPairLoadIgnoresDistantPairs(t *testing.T) {
+	es := []Entity{
+		{ID: 1, X: 0, Y: 0, Actionable: true},
+		{ID: 2, X: 500, Y: 500, Actionable: true},
+	}
+	got := pairLoad(es)
+	want := 0 + 2*0.1 // no interacting pairs, only the linear term
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("pairLoad = %v, want %v", got, want)
+	}
+}
+
+func TestZonePartitionerConservesEntities(t *testing.T) {
+	w := GenerateWorld(DefaultWorldConfig(300))
+	loads := ZonePartitioner{}.Loads(w, 9)
+	if len(loads) != 9 {
+		t.Fatalf("loads = %d servers", len(loads))
+	}
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if total <= 0 {
+		t.Error("zero total load")
+	}
+}
+
+func TestAoSBalancesBetterThanZones(t *testing.T) {
+	// Hot POI clustering: zones put the battle in one cell; AoS shards it.
+	cfg := DefaultWorldConfig(600)
+	cfg.HotFraction = 0.6
+	w := GenerateWorld(cfg)
+	servers := 16
+	zl := ZonePartitioner{}.Loads(w, servers)
+	al := AoSPartitioner{}.Loads(w, servers)
+	maxOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if maxOf(al) >= maxOf(zl) {
+		t.Errorf("AoS max load %v not below zones max load %v", maxOf(al), maxOf(zl))
+	}
+}
+
+func TestMirrorReducesLoad(t *testing.T) {
+	w := GenerateWorld(DefaultWorldConfig(400))
+	a := AoSPartitioner{}.Loads(w, 8)
+	m := MirrorPartitioner{OffloadFraction: 0.5}.Loads(w, 8)
+	for i := range a {
+		if m[i] > a[i] {
+			t.Fatalf("mirror load %v above AoS load %v", m[i], a[i])
+		}
+	}
+}
+
+func TestMaxSupportedPlayersOrdering(t *testing.T) {
+	zones := MaxSupportedPlayers(ZonePartitioner{}, 16, 3000, 1)
+	aos := MaxSupportedPlayers(AoSPartitioner{}, 16, 3000, 1)
+	mirror := MaxSupportedPlayers(MirrorPartitioner{OffloadFraction: 0.5}, 16, 3000, 1)
+	if !(zones < aos && aos < mirror) {
+		t.Errorf("scalability ordering violated: zones=%d aos=%d mirror=%d", zones, aos, mirror)
+	}
+	if zones == 0 {
+		t.Error("zones supports no players at all")
+	}
+}
+
+func TestRunScalabilityStudyRows(t *testing.T) {
+	rows := RunScalabilityStudy([]int{4}, 2000, 1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 techniques", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxPlayers <= 0 {
+			t.Errorf("row %s has zero players", r.Technique)
+		}
+		if r.String() == "" {
+			t.Error("empty row string")
+		}
+	}
+}
+
+func TestPopulationSeriesShape(t *testing.T) {
+	pm := DefaultPopulationModel()
+	hourly := pm.Series(28)
+	if len(hourly) != 28*24 {
+		t.Fatalf("series length = %d", len(hourly))
+	}
+	for _, v := range hourly {
+		if v < 0 {
+			t.Fatal("negative population")
+		}
+	}
+	rep := AnalyzeDynamics(hourly)
+	if rep.PeakToTrough < 1.5 {
+		t.Errorf("peak/trough = %v, want >= 1.5 (diurnal cycle)", rep.PeakToTrough)
+	}
+	if rep.WeeklyVariation <= 1 {
+		t.Errorf("weekend uplift = %v, want > 1", rep.WeeklyVariation)
+	}
+	if math.Abs(rep.TrendPerDay-pm.GrowthPerDay) > 0.005 {
+		t.Errorf("trend = %v, want ~%v", rep.TrendPerDay, pm.GrowthPerDay)
+	}
+}
+
+func TestAnalyzeDynamicsEmpty(t *testing.T) {
+	rep := AnalyzeDynamics(nil)
+	if rep.MeanPlayers != 0 {
+		t.Errorf("empty dynamics = %+v", rep)
+	}
+}
+
+func TestMatchModelProperties(t *testing.T) {
+	matches := MatchModel{Players: 500, TeamSize: 5, Seed: 2}.Generate(200)
+	if len(matches) != 200 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	for _, m := range matches {
+		if len(m.Players) != 10 {
+			t.Fatalf("match %d has %d players", m.ID, len(m.Players))
+		}
+		seen := map[int]bool{}
+		for _, p := range m.Players {
+			if seen[p] {
+				t.Fatalf("match %d has duplicate player %d", m.ID, p)
+			}
+			seen[p] = true
+		}
+		if m.Winner != 0 && m.Winner != 1 {
+			t.Fatalf("match %d winner = %d", m.ID, m.Winner)
+		}
+	}
+}
+
+func TestMatchModelDefaultsProperty(t *testing.T) {
+	f := func(seed int64, teamRaw uint8) bool {
+		team := int(teamRaw%8) + 1
+		mm := MatchModel{Players: 100, TeamSize: team, Seed: seed}
+		for _, m := range mm.Generate(20) {
+			if len(m.Players) != team*2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSocialNetworkClustering(t *testing.T) {
+	matches := MatchModel{Players: 400, TeamSize: 5, Seed: 3}.Generate(800)
+	sn := BuildSocialNetwork(matches)
+	if sn.Nodes() == 0 || sn.Edges() == 0 {
+		t.Fatal("empty network")
+	}
+	cc := sn.ClusteringCoefficient()
+	base := sn.RandomBaselineClustering()
+	if cc <= base {
+		t.Errorf("clustering %v not above random baseline %v (no community structure)", cc, base)
+	}
+	deg := sn.DegreeDistribution()
+	if len(deg) != sn.Nodes() {
+		t.Errorf("degree distribution size %d != nodes %d", len(deg), sn.Nodes())
+	}
+}
+
+func TestToxicityGroundTruthSkew(t *testing.T) {
+	matches := MatchModel{Players: 200, TeamSize: 5, Seed: 1}.Generate(500)
+	tm := DefaultToxicityModel()
+	events := tm.Generate(matches)
+	if len(events) == 0 {
+		t.Fatal("no chat generated")
+	}
+	toxic := 0
+	for _, e := range events {
+		if e.Toxic {
+			toxic++
+		}
+	}
+	rate := float64(toxic) / float64(len(events))
+	// Between the winner base rate and the loser rate.
+	if rate <= tm.BaseRate || rate >= tm.BaseRate*tm.LosingMultiplier {
+		t.Errorf("overall toxic rate = %v, want in (%v,%v)", rate, tm.BaseRate, tm.BaseRate*tm.LosingMultiplier)
+	}
+}
+
+func TestToxicityDetectorScores(t *testing.T) {
+	matches := MatchModel{Players: 200, TeamSize: 5, Seed: 1}.Generate(500)
+	events := DefaultToxicityModel().Generate(matches)
+	rep := ToxicityDetector{TruePositiveRate: 0.8, FalsePositiveRate: 0.02, Seed: 4}.Apply(events)
+	if rep.Recall < 0.6 || rep.Recall > 0.95 {
+		t.Errorf("recall = %v, want ~0.8", rep.Recall)
+	}
+	if rep.Precision <= 0.3 {
+		t.Errorf("precision = %v, too low", rep.Precision)
+	}
+	if rep.Flagged == 0 || rep.Toxic == 0 {
+		t.Errorf("degenerate report %+v", rep)
+	}
+}
+
+func TestProvisioningPolicies(t *testing.T) {
+	pm := DefaultPopulationModel()
+	hourly := pm.Series(14)
+	static := EvaluateProvisioning(StaticPeak{}, hourly, 1000)
+	reactive := EvaluateProvisioning(Reactive{}, hourly, 1000)
+	pred := EvaluateProvisioning(Predictive{}, hourly, 1000)
+
+	if static.QoSViolations > len(hourly)/10 {
+		t.Errorf("static peak violates QoS %d times", static.QoSViolations)
+	}
+	if reactive.ServerHours >= static.ServerHours {
+		t.Errorf("reactive cost %d not below static %d", reactive.ServerHours, static.ServerHours)
+	}
+	if pred.ServerHours >= static.ServerHours {
+		t.Errorf("predictive cost %d not below static %d", pred.ServerHours, static.ServerHours)
+	}
+	// Predictive should have (weakly) fewer violations than reactive on a
+	// diurnal workload: it anticipates the evening ramp.
+	if pred.QoSViolations > reactive.QoSViolations {
+		t.Errorf("predictive violations %d above reactive %d", pred.QoSViolations, reactive.QoSViolations)
+	}
+}
+
+func TestRunTable6AllRows(t *testing.T) {
+	rows := RunTable6(1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	features := map[string]bool{}
+	for _, r := range rows {
+		if r.Finding == "" {
+			t.Errorf("row %s empty finding", r.Study)
+		}
+		features[r.Feature] = true
+	}
+	for _, f := range []string{"Dynamics (MMORPG)", "Social networks", "Toxicity", "V-World scalability (AoS)", "RM&S provisioning"} {
+		if !features[f] {
+			t.Errorf("missing feature %q", f)
+		}
+	}
+	// Headline shapes: AoS gain > 1, provisioning saving > 0.
+	for _, r := range rows {
+		switch r.Feature {
+		case "V-World scalability (AoS)":
+			if r.Value <= 1 {
+				t.Errorf("AoS gain = %v, want > 1", r.Value)
+			}
+		case "RM&S provisioning":
+			if r.Value <= 0 {
+				t.Errorf("provisioning saving = %v%%, want > 0", r.Value)
+			}
+		}
+	}
+}

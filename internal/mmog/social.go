@@ -1,0 +1,195 @@
+package mmog
+
+import (
+	"math/rand"
+	"sort"
+
+	"atlarge/internal/stats"
+)
+
+// SocialNetwork is the implicit player graph mined from co-play: an edge
+// connects two players who appeared in the same match, weighted by
+// co-occurrence count (Iosup et al., IEEE IC'14).
+type SocialNetwork struct {
+	// Adj maps player -> co-player -> co-occurrence count.
+	Adj map[int]map[int]int
+}
+
+// BuildSocialNetwork mines the implicit network from matches.
+func BuildSocialNetwork(matches []Match) *SocialNetwork {
+	sn := &SocialNetwork{Adj: make(map[int]map[int]int)}
+	for _, m := range matches {
+		for i := 0; i < len(m.Players); i++ {
+			for j := i + 1; j < len(m.Players); j++ {
+				sn.addEdge(m.Players[i], m.Players[j])
+				sn.addEdge(m.Players[j], m.Players[i])
+			}
+		}
+	}
+	return sn
+}
+
+func (sn *SocialNetwork) addEdge(a, b int) {
+	if sn.Adj[a] == nil {
+		sn.Adj[a] = make(map[int]int)
+	}
+	sn.Adj[a][b]++
+}
+
+// Nodes returns the number of players in the network.
+func (sn *SocialNetwork) Nodes() int { return len(sn.Adj) }
+
+// Edges returns the number of undirected edges.
+func (sn *SocialNetwork) Edges() int {
+	n := 0
+	for _, nb := range sn.Adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// DegreeDistribution returns the sorted degrees of all nodes.
+func (sn *SocialNetwork) DegreeDistribution() []float64 {
+	out := make([]float64, 0, len(sn.Adj))
+	for _, nb := range sn.Adj {
+		out = append(out, float64(len(nb)))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient, the
+// signature of community structure in co-play graphs.
+func (sn *SocialNetwork) ClusteringCoefficient() float64 {
+	var coeffs []float64
+	for v, nb := range sn.Adj {
+		neigh := make([]int, 0, len(nb))
+		for u := range nb {
+			neigh = append(neigh, u)
+		}
+		if len(neigh) < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < len(neigh); i++ {
+			for j := i + 1; j < len(neigh); j++ {
+				if _, ok := sn.Adj[neigh[i]][neigh[j]]; ok {
+					links++
+				}
+			}
+		}
+		possible := len(neigh) * (len(neigh) - 1) / 2
+		coeffs = append(coeffs, float64(links)/float64(possible))
+		_ = v
+	}
+	return stats.Mean(coeffs)
+}
+
+// RandomBaselineClustering estimates the clustering coefficient of an
+// Erdős–Rényi graph with the same node and edge counts: p = 2E / (N(N-1)).
+func (sn *SocialNetwork) RandomBaselineClustering() float64 {
+	n := float64(sn.Nodes())
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(sn.Edges()) / (n * (n - 1))
+}
+
+// ChatEvent is one chat line with ground-truth and detector outcomes, for
+// the toxicity-detection study (Märtens et al., NETGAMES'15).
+type ChatEvent struct {
+	Match   int
+	Player  int
+	Toxic   bool // ground truth
+	Flagged bool // detector output
+}
+
+// ToxicityModel generates chat with ground-truth toxicity: losing players
+// are substantially more likely to produce toxic messages, which the study
+// exploited for detection.
+type ToxicityModel struct {
+	// BaseRate is the toxic probability for winners.
+	BaseRate float64
+	// LosingMultiplier scales the toxic probability for the losing team.
+	LosingMultiplier float64
+	// LinesPerPlayer is the mean chat lines each player emits per match.
+	LinesPerPlayer float64
+	Seed           int64
+}
+
+// DefaultToxicityModel matches the study's qualitative finding.
+func DefaultToxicityModel() ToxicityModel {
+	return ToxicityModel{BaseRate: 0.02, LosingMultiplier: 4, LinesPerPlayer: 3, Seed: 1}
+}
+
+// Generate produces chat events for the matches.
+func (tm ToxicityModel) Generate(matches []Match) []ChatEvent {
+	r := rand.New(rand.NewSource(tm.Seed))
+	var events []ChatEvent
+	for _, m := range matches {
+		half := len(m.Players) / 2
+		for idx, p := range m.Players {
+			losing := (idx < half) == (m.Winner == 1)
+			rate := tm.BaseRate
+			if losing {
+				rate *= tm.LosingMultiplier
+			}
+			lines := int(tm.LinesPerPlayer * (0.5 + r.Float64()))
+			for l := 0; l < lines; l++ {
+				events = append(events, ChatEvent{
+					Match:  m.ID,
+					Player: p,
+					Toxic:  r.Float64() < rate,
+				})
+			}
+		}
+	}
+	return events
+}
+
+// ToxicityDetector flags toxic chat using a noisy classifier with the given
+// true-positive and false-positive rates, mirroring the reported detector
+// quality regime.
+type ToxicityDetector struct {
+	TruePositiveRate  float64
+	FalsePositiveRate float64
+	Seed              int64
+}
+
+// DetectionReport scores a detector run.
+type DetectionReport struct {
+	Precision float64
+	Recall    float64
+	Flagged   int
+	Toxic     int
+	Total     int
+}
+
+// Apply runs the detector over events (mutating Flagged) and scores it.
+func (d ToxicityDetector) Apply(events []ChatEvent) DetectionReport {
+	r := rand.New(rand.NewSource(d.Seed))
+	var tp, fp, fn int
+	for i := range events {
+		if events[i].Toxic {
+			events[i].Flagged = r.Float64() < d.TruePositiveRate
+			if events[i].Flagged {
+				tp++
+			} else {
+				fn++
+			}
+		} else {
+			events[i].Flagged = r.Float64() < d.FalsePositiveRate
+			if events[i].Flagged {
+				fp++
+			}
+		}
+	}
+	rep := DetectionReport{Flagged: tp + fp, Toxic: tp + fn, Total: len(events)}
+	if tp+fp > 0 {
+		rep.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		rep.Recall = float64(tp) / float64(tp+fn)
+	}
+	return rep
+}

@@ -1,0 +1,320 @@
+// Package mmog simulates Massive Multiplayer Online Game ecosystems and the
+// studies of the paper's Table 6: virtual-world scalability (static zoning
+// versus the Area-of-Simulation technique, and Mirror-style computation
+// offloading), player-population dynamics (MMORPG diurnal cycles, MOBA
+// match-based play), implicit social networks mined from co-play, toxicity
+// detection, and dynamic resource provisioning for game servers.
+package mmog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Entity is a player avatar or game unit at a 2D position.
+type Entity struct {
+	ID int
+	X  float64
+	Y  float64
+	// Actionable entities (units in combat) generate interaction load.
+	Actionable bool
+}
+
+// World is a square virtual world of side Size with entities clustered
+// around points of interest — the workload shape the RTSenv study found:
+// multiple points of interest, tens of entities under careful management in
+// some, hundreds under casual management in others.
+type World struct {
+	Size     float64
+	Entities []Entity
+	POIs     [][2]float64
+}
+
+// WorldConfig parameterizes world generation.
+type WorldConfig struct {
+	Size float64
+	// POIs is the number of points of interest (RTS battles, towns).
+	POIs int
+	// Entities is the total entity count.
+	Entities int
+	// Spread is the Gaussian scatter of entities around their POI.
+	Spread float64
+	// HotFraction is the fraction of entities concentrated in the single
+	// hottest POI (battle clustering).
+	HotFraction float64
+	Seed        int64
+}
+
+// DefaultWorldConfig is a 1000x1000 world with 5 POIs.
+func DefaultWorldConfig(entities int) WorldConfig {
+	return WorldConfig{Size: 1000, POIs: 5, Entities: entities, Spread: 30, HotFraction: 0.4, Seed: 1}
+}
+
+// GenerateWorld builds a world with clustered entities.
+func GenerateWorld(cfg WorldConfig) *World {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Size: cfg.Size}
+	for p := 0; p < cfg.POIs; p++ {
+		w.POIs = append(w.POIs, [2]float64{r.Float64() * cfg.Size, r.Float64() * cfg.Size})
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= cfg.Size {
+			return cfg.Size - 1e-9
+		}
+		return v
+	}
+	for i := 0; i < cfg.Entities; i++ {
+		var poi [2]float64
+		if r.Float64() < cfg.HotFraction {
+			poi = w.POIs[0]
+		} else {
+			poi = w.POIs[r.Intn(len(w.POIs))]
+		}
+		w.Entities = append(w.Entities, Entity{
+			ID:         i + 1,
+			X:          clamp(poi[0] + r.NormFloat64()*cfg.Spread),
+			Y:          clamp(poi[1] + r.NormFloat64()*cfg.Spread),
+			Actionable: r.Float64() < 0.6,
+		})
+	}
+	return w
+}
+
+// InteractionRadius is the distance within which two actionable entities
+// interact (and thus cost simulation work).
+const InteractionRadius = 50.0
+
+// pairLoad computes the interaction load of a set of entities: the number of
+// actionable pairs within the interaction radius. This is the quadratic term
+// that limits MMOG scalability.
+func pairLoad(entities []Entity) float64 {
+	load := 0.0
+	for i := 0; i < len(entities); i++ {
+		if !entities[i].Actionable {
+			continue
+		}
+		for j := i + 1; j < len(entities); j++ {
+			if !entities[j].Actionable {
+				continue
+			}
+			dx := entities[i].X - entities[j].X
+			dy := entities[i].Y - entities[j].Y
+			if dx*dx+dy*dy <= InteractionRadius*InteractionRadius {
+				load++
+			}
+		}
+	}
+	// Linear baseline cost per entity (movement, state updates).
+	return load + float64(len(entities))*0.1
+}
+
+// Partitioner splits a world across servers and reports per-server load.
+type Partitioner interface {
+	// Name identifies the technique.
+	Name() string
+	// Loads returns the per-server interaction load for the world when split
+	// over servers servers.
+	Loads(w *World, servers int) []float64
+}
+
+// ZonePartitioner is classic static spatial zoning: the world is cut into a
+// grid of equal zones, each zone pinned to a server (round-robin when zones
+// exceed servers).
+type ZonePartitioner struct{}
+
+// Name implements Partitioner.
+func (ZonePartitioner) Name() string { return "zones" }
+
+// Loads implements Partitioner.
+func (ZonePartitioner) Loads(w *World, servers int) []float64 {
+	if servers < 1 {
+		servers = 1
+	}
+	// Grid side: ceil(sqrt(servers)) zones per axis.
+	side := int(math.Ceil(math.Sqrt(float64(servers))))
+	cell := w.Size / float64(side)
+	zones := make([][]Entity, side*side)
+	for _, e := range w.Entities {
+		zx := int(e.X / cell)
+		zy := int(e.Y / cell)
+		if zx >= side {
+			zx = side - 1
+		}
+		if zy >= side {
+			zy = side - 1
+		}
+		idx := zy*side + zx
+		zones[idx] = append(zones[idx], e)
+	}
+	loads := make([]float64, servers)
+	for i, z := range zones {
+		loads[i%servers] += pairLoad(z)
+	}
+	return loads
+}
+
+// AoSPartitioner is the Area-of-Simulation technique: simulation areas form
+// around points of interest and are assigned to servers by load (longest
+// processing time first), decoupling load placement from static geography.
+type AoSPartitioner struct{}
+
+// Name implements Partitioner.
+func (AoSPartitioner) Name() string { return "area-of-simulation" }
+
+// Loads implements Partitioner.
+func (AoSPartitioner) Loads(w *World, servers int) []float64 {
+	if servers < 1 {
+		servers = 1
+	}
+	// Assign each entity to its nearest POI; each POI area may further be
+	// split into sub-areas when overloaded (the AoS mechanism caps area
+	// population by interest, not geography).
+	areas := make([][]Entity, len(w.POIs))
+	for _, e := range w.Entities {
+		best, bestD := 0, math.Inf(1)
+		for p, poi := range w.POIs {
+			dx, dy := e.X-poi[0], e.Y-poi[1]
+			if d := dx*dx + dy*dy; d < bestD {
+				bestD = d
+				best = p
+			}
+		}
+		areas[best] = append(areas[best], e)
+	}
+	// Split any area larger than cap into chunks: inside one area entities
+	// are interchangeable (same interest), so AoS can shard them and only
+	// pay a small cross-shard synchronization overhead.
+	const cap = 80
+	var shards [][]Entity
+	for _, a := range areas {
+		for len(a) > cap {
+			shards = append(shards, a[:cap])
+			a = a[cap:]
+		}
+		if len(a) > 0 {
+			shards = append(shards, a)
+		}
+	}
+	// LPT assignment of shard loads to servers.
+	loads := make([]float64, servers)
+	shardLoads := make([]float64, len(shards))
+	for i, sh := range shards {
+		// Cross-shard sync overhead: 5% per shard beyond the first of an area.
+		shardLoads[i] = pairLoad(sh) * 1.05
+	}
+	// Sort descending by load (simple selection for small n).
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		maxJ := i
+		for j := i + 1; j < len(order); j++ {
+			if shardLoads[order[j]] > shardLoads[order[maxJ]] {
+				maxJ = j
+			}
+		}
+		order[i], order[maxJ] = order[maxJ], order[i]
+	}
+	for _, idx := range order {
+		minS := 0
+		for s := 1; s < servers; s++ {
+			if loads[s] < loads[minS] {
+				minS = s
+			}
+		}
+		loads[minS] += shardLoads[idx]
+	}
+	return loads
+}
+
+// MirrorPartitioner is AoS plus Mirror-style computation offloading: a cloud
+// mirror absorbs OffloadFraction of each server's interaction load at the
+// price of added latency (modeled outside the load metric).
+type MirrorPartitioner struct {
+	OffloadFraction float64
+}
+
+// Name implements Partitioner.
+func (m MirrorPartitioner) Name() string { return "mirror" }
+
+// Loads implements Partitioner.
+func (m MirrorPartitioner) Loads(w *World, servers int) []float64 {
+	frac := m.OffloadFraction
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	loads := AoSPartitioner{}.Loads(w, servers)
+	for i := range loads {
+		loads[i] *= 1 - frac
+	}
+	return loads
+}
+
+// MaxSupportedPlayers finds the largest entity count (by doubling then
+// bisecting) for which the maximum per-server load stays within budget.
+func MaxSupportedPlayers(p Partitioner, servers int, budget float64, seed int64) int {
+	ok := func(n int) bool {
+		cfg := DefaultWorldConfig(n)
+		cfg.Seed = seed
+		w := GenerateWorld(cfg)
+		loads := p.Loads(w, servers)
+		maxL := 0.0
+		for _, l := range loads {
+			if l > maxL {
+				maxL = l
+			}
+		}
+		return maxL <= budget
+	}
+	lo, hi := 0, 64
+	for ok(hi) && hi < 1<<20 {
+		lo = hi
+		hi *= 2
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ScalabilityRow is one line of the AoS scalability experiment.
+type ScalabilityRow struct {
+	Technique  string
+	Servers    int
+	MaxPlayers int
+}
+
+// RunScalabilityStudy compares zoning, AoS, and Mirror at several server
+// counts under a fixed per-server load budget.
+func RunScalabilityStudy(serverCounts []int, budget float64, seed int64) []ScalabilityRow {
+	var rows []ScalabilityRow
+	parts := []Partitioner{ZonePartitioner{}, AoSPartitioner{}, MirrorPartitioner{OffloadFraction: 0.5}}
+	for _, servers := range serverCounts {
+		for _, p := range parts {
+			rows = append(rows, ScalabilityRow{
+				Technique:  p.Name(),
+				Servers:    servers,
+				MaxPlayers: MaxSupportedPlayers(p, servers, budget, seed),
+			})
+		}
+	}
+	return rows
+}
+
+// String renders a row.
+func (r ScalabilityRow) String() string {
+	return fmt.Sprintf("%-20s servers=%-3d max players=%d", r.Technique, r.Servers, r.MaxPlayers)
+}

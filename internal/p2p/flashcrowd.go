@@ -1,0 +1,116 @@
+package p2p
+
+import (
+	"math"
+
+	"atlarge/internal/sim"
+	"atlarge/internal/stats"
+)
+
+// FlashcrowdEvent is one detected flashcrowd.
+type FlashcrowdEvent struct {
+	Start sim.Time
+	End   sim.Time
+	// PeakRate is the maximum windowed arrival rate during the event.
+	PeakRate float64
+	// BaseRate is the pre-event median windowed rate.
+	BaseRate float64
+	// Amplitude is PeakRate / BaseRate.
+	Amplitude float64
+}
+
+// FlashcrowdDetector implements the identification method of the
+// BT-flashcrowd study (Zhang et al. P2P'11): windowed arrival rates are
+// compared against the running median; a flashcrowd starts when the rate
+// exceeds Threshold × median and ends when it falls back below.
+type FlashcrowdDetector struct {
+	// Window is the rate-estimation window in seconds.
+	Window float64
+	// Threshold is the surge multiplier that triggers detection.
+	Threshold float64
+}
+
+// DefaultDetector uses a 5-minute window and a 5x threshold.
+func DefaultDetector() FlashcrowdDetector {
+	return FlashcrowdDetector{Window: 300, Threshold: 5}
+}
+
+// Detect scans join timestamps (sorted ascending) and returns the detected
+// flashcrowd events.
+func (d FlashcrowdDetector) Detect(joins []sim.Time) []FlashcrowdEvent {
+	if len(joins) == 0 || d.Window <= 0 || d.Threshold <= 1 {
+		return nil
+	}
+	end := float64(joins[len(joins)-1])
+	bins := int(math.Ceil(end/d.Window)) + 1
+	rate := make([]float64, bins)
+	for _, t := range joins {
+		b := int(float64(t) / d.Window)
+		rate[b] += 1 / d.Window
+	}
+
+	var events []FlashcrowdEvent
+	var active *FlashcrowdEvent
+	var seen []float64
+	for b := 0; b < bins; b++ {
+		base := stats.Median(seen)
+		if base == 0 {
+			base = 1 / d.Window / 10 // floor: a tenth of one join per window
+		}
+		r := rate[b]
+		t := sim.Time(float64(b) * d.Window)
+		if active == nil && len(seen) >= 3 && r > d.Threshold*base {
+			active = &FlashcrowdEvent{Start: t, PeakRate: r, BaseRate: base}
+		} else if active != nil {
+			if r > active.PeakRate {
+				active.PeakRate = r
+			}
+			if r <= d.Threshold*active.BaseRate {
+				active.End = t
+				active.Amplitude = active.PeakRate / active.BaseRate
+				events = append(events, *active)
+				active = nil
+			}
+		}
+		if active == nil {
+			seen = append(seen, r)
+		}
+	}
+	if active != nil {
+		active.End = sim.Time(end)
+		active.Amplitude = active.PeakRate / active.BaseRate
+		events = append(events, *active)
+	}
+	return events
+}
+
+// FitDecay estimates the exponential half-life of a flashcrowd's arrival
+// decay from the joins after the peak: it fits log(rate) over time and
+// converts the slope to a half-life. It returns 0 when the fit fails.
+func FitDecay(joins []sim.Time, peak sim.Time, window float64) float64 {
+	var xs, ys []float64
+	end := float64(joins[len(joins)-1])
+	for b := 0; ; b++ {
+		lo := float64(peak) + float64(b)*window
+		hi := lo + window
+		if lo > end {
+			break
+		}
+		count := 0
+		for _, t := range joins {
+			if float64(t) >= lo && float64(t) < hi {
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		xs = append(xs, lo-float64(peak))
+		ys = append(ys, math.Log(float64(count)))
+	}
+	fit, err := stats.LinearRegression(xs, ys)
+	if err != nil || fit.Slope >= 0 {
+		return 0
+	}
+	return math.Ln2 / -fit.Slope
+}

@@ -1,0 +1,86 @@
+package p2p
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atlarge/internal/workload"
+)
+
+// TestSwarmInvariantsProperty checks, over random swarm configurations:
+//
+//  1. completed downloads never exceed scheduled arrivals;
+//  2. every download respects the peer's capacity bound
+//     (duration >= filesize / downCap);
+//  3. completion times are causally ordered after joins.
+func TestSwarmInvariantsProperty(t *testing.T) {
+	f := func(seed int64, peersRaw uint8) bool {
+		peers := int(peersRaw%20) + 3
+		cfg := DefaultSwarmConfig()
+		cfg.Seed = seed
+		cfg.FileSize = 20e6
+		sw, err := NewSwarm(cfg)
+		if err != nil {
+			return false
+		}
+		arr := workload.PoissonArrivals{Rate: 0.05}
+		sw.ScheduleArrivals(arr.Times(peers, rand.New(rand.NewSource(seed))))
+		if err := sw.Run(200000, 10); err != nil {
+			return false
+		}
+		recs := sw.Records()
+		if len(recs) > peers {
+			return false
+		}
+		capByClass := map[string]float64{}
+		for _, c := range cfg.Classes {
+			capByClass[c.Name] = c.Down
+		}
+		for _, r := range recs {
+			if r.DoneAt <= r.JoinAt {
+				return false
+			}
+			// Allow one progress-tick (10s) of slack from the fluid model.
+			minDur := cfg.FileSize/capByClass[r.Class] - 10
+			if r.Duration < minDur {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonitorEstimateScalesWithSample checks the estimator's core property:
+// full sampling with spam filtering lands closer to ground truth than a
+// small raw sample, for arbitrary seeds.
+func TestMonitorEstimateScalesWithSample(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultEcosystemConfig()
+		cfg.Seed = seed
+		eco := GenerateEcosystem(cfg)
+		small, err := Monitor{SampleFraction: 0.1, Seed: seed}.Scrape(eco)
+		if err != nil {
+			return false
+		}
+		full, err := Monitor{SampleFraction: 1, FilterSpam: true, Seed: seed}.Scrape(eco)
+		if err != nil {
+			return false
+		}
+		absBias := func(b float64) float64 {
+			if b < 0 {
+				return -b
+			}
+			return b
+		}
+		// Full filtered scrape must not be farther from truth than a 10%
+		// raw scrape (which carries both sampling noise and spam).
+		return absBias(full.Bias) <= absBias(small.Bias)+0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"atlarge/internal/cluster"
+	"atlarge/internal/sched"
+	"atlarge/internal/stats"
+	"atlarge/internal/workload"
+)
+
+// WindowChoice records one selection round.
+type WindowChoice struct {
+	Window   int
+	Policy   string
+	SimRuns  int     // selection cost in full window simulations
+	Realized float64 // realized mean bounded slowdown on the window
+}
+
+// Result aggregates a portfolio-scheduling run.
+type Result struct {
+	Selector       string
+	Choices        []WindowChoice
+	MeanSlowdown   float64 // over all jobs
+	MeanResponse   float64
+	TotalSimRuns   int
+	DistinctPicked int
+}
+
+// Scheduler is a periodic portfolio scheduler: it partitions the incoming
+// trace into windows of WindowSize jobs and, per window, asks the Selector
+// for a policy, executes the window under it, and feeds back the realized
+// quality.
+//
+// Executing windows on a fresh environment approximates the carried-over
+// queue state; the approximation is acceptable because selection happens at
+// low-utilization boundaries in the original studies.
+type Scheduler struct {
+	Policies   []sched.Policy
+	Selector   Selector
+	WindowSize int
+	EnvFactory func() *cluster.Environment
+	Seed       int64
+}
+
+// Run executes the full trace.
+func (s *Scheduler) Run(tr *workload.Trace) (*Result, error) {
+	if len(s.Policies) == 0 {
+		return nil, fmt.Errorf("portfolio: empty policy set")
+	}
+	if s.WindowSize <= 0 {
+		return nil, fmt.Errorf("portfolio: window size %d", s.WindowSize)
+	}
+	sorted := &workload.Trace{Name: tr.Name, Jobs: append([]*workload.Job(nil), tr.Jobs...)}
+	sorted.SortBySubmit()
+
+	res := &Result{Selector: s.Selector.Name()}
+	var allSlowdowns, allResponses []float64
+	picked := make(map[string]bool)
+
+	for w := 0; w*s.WindowSize < len(sorted.Jobs); w++ {
+		lo := w * s.WindowSize
+		hi := lo + s.WindowSize
+		if hi > len(sorted.Jobs) {
+			hi = len(sorted.Jobs)
+		}
+		window := &workload.Trace{Name: fmt.Sprintf("%s/w%d", tr.Name, w), Jobs: sorted.Jobs[lo:hi]}
+
+		policy, simRuns := s.Selector.Select(window, s.EnvFactory, s.Policies, s.Seed+int64(w))
+		real, err := sched.NewSimulator(s.EnvFactory(), window, policy, s.Seed+int64(w)).Run()
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: window %d with %s: %w", w, policy.Name(), err)
+		}
+		s.Selector.Observe(policy, real.MeanSlowdown)
+
+		res.Choices = append(res.Choices, WindowChoice{
+			Window: w, Policy: policy.Name(), SimRuns: simRuns, Realized: real.MeanSlowdown,
+		})
+		res.TotalSimRuns += simRuns
+		picked[policy.Name()] = true
+		for _, js := range real.Jobs {
+			allSlowdowns = append(allSlowdowns, js.Slowdown)
+			allResponses = append(allResponses, float64(js.Response))
+		}
+	}
+	res.MeanSlowdown = stats.Mean(allSlowdowns)
+	res.MeanResponse = stats.Mean(allResponses)
+	res.DistinctPicked = len(picked)
+	return res, nil
+}
+
+// StaticBaselines runs every individual policy over the same windowed
+// execution (same window boundaries, same seeds) and returns the mean
+// slowdown per policy. This isolates the value of *selection* from the value
+// of any single policy.
+func (s *Scheduler) StaticBaselines(tr *workload.Trace) (map[string]float64, error) {
+	sorted := &workload.Trace{Name: tr.Name, Jobs: append([]*workload.Job(nil), tr.Jobs...)}
+	sorted.SortBySubmit()
+	out := make(map[string]float64, len(s.Policies))
+	for _, p := range s.Policies {
+		var all []float64
+		for w := 0; w*s.WindowSize < len(sorted.Jobs); w++ {
+			lo := w * s.WindowSize
+			hi := lo + s.WindowSize
+			if hi > len(sorted.Jobs) {
+				hi = len(sorted.Jobs)
+			}
+			window := &workload.Trace{Jobs: sorted.Jobs[lo:hi]}
+			res, err := sched.NewSimulator(s.EnvFactory(), window, p, s.Seed+int64(w)).Run()
+			if err != nil {
+				return nil, fmt.Errorf("portfolio: baseline %s window %d: %w", p.Name(), w, err)
+			}
+			for _, js := range res.Jobs {
+				all = append(all, js.Slowdown)
+			}
+		}
+		out[p.Name()] = stats.Mean(all)
+	}
+	return out, nil
+}

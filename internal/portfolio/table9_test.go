@@ -1,0 +1,66 @@
+package portfolio
+
+import (
+	"testing"
+
+	"atlarge/internal/cluster"
+	"atlarge/internal/workload"
+)
+
+func TestLabels(t *testing.T) {
+	if got := classesLabel([]workload.Class{workload.ClassScientific, workload.ClassGaming}); got != "Sci+G" {
+		t.Errorf("classesLabel = %q", got)
+	}
+	if got := kindsLabel([]cluster.Kind{cluster.KindGrid, cluster.KindCloud}); got != "G+CD" {
+		t.Errorf("kindsLabel = %q", got)
+	}
+	if got := classesLabel(nil); got != "" {
+		t.Errorf("empty classesLabel = %q", got)
+	}
+}
+
+func TestBestWorst(t *testing.T) {
+	var bestName, worstName string
+	best, worst := bestWorst(map[string]float64{"a": 2, "b": 1, "c": 3}, &bestName, &worstName)
+	if best != 1 || bestName != "b" {
+		t.Errorf("best = %v (%s)", best, bestName)
+	}
+	if worst != 3 || worstName != "c" {
+		t.Errorf("worst = %v (%s)", worst, worstName)
+	}
+}
+
+func TestVerdictBands(t *testing.T) {
+	tests := []struct {
+		row  Table9Row
+		want string
+	}{
+		{Table9Row{Portfolio: 1.0, BestStatic: 1.0, WorstStatic: 2.0, SelectionRegret: 0}, "PS is useful"},
+		{Table9Row{Portfolio: 1.5, BestStatic: 1.0, WorstStatic: 2.0, SelectionRegret: 0.5}, "PS is useful, but selection shows regret"},
+		{Table9Row{Portfolio: 3.0, BestStatic: 1.0, WorstStatic: 2.0, SelectionRegret: 2.0}, "PS underperforms (unpredictable runtimes)"},
+	}
+	for _, tt := range tests {
+		if got := verdict(tt.row); got != tt.want {
+			t.Errorf("verdict(%+v) = %q, want %q", tt.row, got, tt.want)
+		}
+	}
+}
+
+func TestTable9SpecsShape(t *testing.T) {
+	specs := table9Specs()
+	if len(specs) != 7 {
+		t.Fatalf("specs = %d, want 7 rows", len(specs))
+	}
+	for _, s := range specs {
+		if s.study == "" || len(s.classes) == 0 || len(s.envKinds) == 0 || s.newQuestion == "" {
+			t.Errorf("incomplete spec %+v", s)
+		}
+	}
+	// Row 2 is the G+CD composite; row 3 the Sci+Gam mix (paper Table 9).
+	if len(specs[1].envKinds) != 2 {
+		t.Error("Deng'13 SC row must combine two environments")
+	}
+	if len(specs[2].classes) != 2 {
+		t.Error("Shen'13 row must combine two workload classes")
+	}
+}

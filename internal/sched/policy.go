@@ -1,0 +1,155 @@
+// Package sched simulates task scheduling on cluster environments. It
+// provides the scheduling policies that form the portfolio of the paper's
+// portfolio-scheduling experiments (Table 9) and the job-level metrics
+// (wait, response, bounded slowdown, makespan, utilization) used throughout
+// the evaluation.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+
+	"atlarge/internal/sim"
+	"atlarge/internal/workload"
+)
+
+// TaskState is a task waiting in or dispatched from the scheduler queue.
+type TaskState struct {
+	Job   *workload.Job
+	Task  *workload.Task
+	Ready sim.Time // when the task became eligible (deps satisfied)
+
+	// Set when dispatched.
+	Started  bool
+	StartAt  sim.Time
+	FinishAt sim.Time
+}
+
+// Context carries the scheduler state that ordering policies may consult.
+type Context struct {
+	Now sim.Time
+	// ServedWork maps job ID to CPU-seconds already completed, for
+	// fair-share ordering.
+	ServedWork map[int]float64
+	// Rand is a deterministic stream for randomized policies.
+	Rand *rand.Rand
+}
+
+// Policy orders the eligible-task queue and declares its backfill semantics.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Order sorts q in dispatch order (in place).
+	Order(ctx *Context, q []*TaskState)
+	// AllowSkip reports whether tasks behind a non-fitting task may be
+	// dispatched (backfilling). Strict FCFS returns false.
+	AllowSkip() bool
+	// EasyReservation reports whether skipping is additionally constrained
+	// by EASY semantics: a backfilled task must not delay the estimated
+	// start of the queue head.
+	EasyReservation() bool
+}
+
+// basePolicy provides the common AllowSkip/EasyReservation plumbing.
+type basePolicy struct {
+	name  string
+	skip  bool
+	easy  bool
+	order func(ctx *Context, q []*TaskState)
+}
+
+func (p basePolicy) Name() string                       { return p.name }
+func (p basePolicy) AllowSkip() bool                    { return p.skip }
+func (p basePolicy) EasyReservation() bool              { return p.easy }
+func (p basePolicy) Order(ctx *Context, q []*TaskState) { p.order(ctx, q) }
+
+// byReady orders by eligibility time then job then task ID, the FCFS order.
+func byReady(_ *Context, q []*TaskState) {
+	sort.SliceStable(q, func(i, j int) bool {
+		if q[i].Ready != q[j].Ready {
+			return q[i].Ready < q[j].Ready
+		}
+		if q[i].Job.ID != q[j].Job.ID {
+			return q[i].Job.ID < q[j].Job.ID
+		}
+		return q[i].Task.ID < q[j].Task.ID
+	})
+}
+
+// FCFS is strict first-come-first-served: the queue head blocks everything
+// behind it.
+func FCFS() Policy { return basePolicy{name: "FCFS", order: byReady} }
+
+// GreedyBackfill is FCFS order with unrestricted skipping: any task that fits
+// runs, which maximizes utilization but can starve wide tasks.
+func GreedyBackfill() Policy {
+	return basePolicy{name: "GreedyBF", skip: true, order: byReady}
+}
+
+// EASYBackfill is FCFS with conservative (EASY) backfilling: tasks may jump
+// the queue only when their estimated finish does not delay the reservation
+// of the queue head.
+func EASYBackfill() Policy {
+	return basePolicy{name: "EASY-BF", skip: true, easy: true, order: byReady}
+}
+
+// SJF dispatches the task with the shortest estimated runtime first
+// (shortest-job-first), with skipping.
+func SJF() Policy {
+	return basePolicy{name: "SJF", skip: true, order: func(_ *Context, q []*TaskState) {
+		sort.SliceStable(q, func(i, j int) bool {
+			return q[i].Task.RuntimeEstimate < q[j].Task.RuntimeEstimate
+		})
+	}}
+}
+
+// LJF dispatches the task with the longest estimated runtime first, with
+// skipping. It approximates reservation-style policies that favor large work.
+func LJF() Policy {
+	return basePolicy{name: "LJF", skip: true, order: func(_ *Context, q []*TaskState) {
+		sort.SliceStable(q, func(i, j int) bool {
+			return q[i].Task.RuntimeEstimate > q[j].Task.RuntimeEstimate
+		})
+	}}
+}
+
+// WFP orders by the widest task first (most CPUs), breaking ties by age; it
+// approximates the WFP3 class of slowdown-aware policies.
+func WFP() Policy {
+	return basePolicy{name: "WFP", skip: true, order: func(_ *Context, q []*TaskState) {
+		sort.SliceStable(q, func(i, j int) bool {
+			if q[i].Task.CPUs != q[j].Task.CPUs {
+				return q[i].Task.CPUs > q[j].Task.CPUs
+			}
+			return q[i].Ready < q[j].Ready
+		})
+	}}
+}
+
+// FairShare favors the job that has consumed the least CPU-seconds so far,
+// equalizing service across jobs.
+func FairShare() Policy {
+	return basePolicy{name: "FairShare", skip: true, order: func(ctx *Context, q []*TaskState) {
+		sort.SliceStable(q, func(i, j int) bool {
+			wi := ctx.ServedWork[q[i].Job.ID]
+			wj := ctx.ServedWork[q[j].Job.ID]
+			if wi != wj {
+				return wi < wj
+			}
+			return q[i].Ready < q[j].Ready
+		})
+	}}
+}
+
+// RandomOrder shuffles the queue; the baseline "no intelligence" policy.
+func RandomOrder() Policy {
+	return basePolicy{name: "Random", skip: true, order: func(ctx *Context, q []*TaskState) {
+		ctx.Rand.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
+	}}
+}
+
+// DefaultPortfolio returns the standard policy set used by the portfolio
+// scheduler.
+func DefaultPortfolio() []Policy {
+	return []Policy{FCFS(), GreedyBackfill(), EASYBackfill(), SJF(), LJF(), WFP(), FairShare()}
+}

@@ -1,0 +1,367 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"atlarge/internal/cluster"
+	"atlarge/internal/sim"
+	"atlarge/internal/workload"
+)
+
+// JobStats records the lifecycle of one completed job.
+type JobStats struct {
+	JobID       int
+	Submit      sim.Time
+	Start       sim.Time // first task start
+	Finish      sim.Time // last task finish
+	Wait        sim.Duration
+	Response    sim.Duration
+	Slowdown    float64 // bounded slowdown, tau = 10s
+	DeadlineMet bool    // true when no deadline or finished in time
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Policy          string
+	Jobs            []JobStats
+	Makespan        sim.Duration
+	MeanSlowdown    float64
+	MeanResponse    float64
+	MeanWait        float64
+	UtilizationMean float64
+	DeadlineMisses  int
+	Horizon         sim.Time
+}
+
+// boundedSlowdownTau is the runtime floor for bounded slowdown.
+const boundedSlowdownTau = 10
+
+// Simulator executes a trace on an environment under one policy.
+type Simulator struct {
+	env    *cluster.Environment
+	trace  *workload.Trace
+	policy Policy
+	seed   int64
+
+	k       *sim.Kernel
+	queue   []*TaskState
+	running map[*TaskState]*cluster.Machine
+	ctx     *Context
+
+	pendingDeps map[int]int                    // task ID -> unfinished dep count
+	dependents  map[int][]*TaskState           // task ID -> states waiting on it
+	jobLeft     map[int]int                    // job ID -> unfinished task count
+	jobStart    map[int]sim.Time               // job ID -> first task start
+	jobStarted  map[int]bool                   //
+	stats       []JobStats                     //
+	rec         sim.Recorder                   //
+	states      map[int]*TaskState             // task ID -> state
+	estFinish   map[*cluster.Machine][]estSlot // for EASY reservations
+
+	dispatchPending bool
+}
+
+type estSlot struct {
+	at   sim.Time
+	cpus int
+}
+
+// NewSimulator prepares a run. The trace is not mutated.
+func NewSimulator(env *cluster.Environment, tr *workload.Trace, p Policy, seed int64) *Simulator {
+	return &Simulator{env: env, trace: tr, policy: p, seed: seed}
+}
+
+// Run executes the simulation to completion and returns the aggregate result.
+func (s *Simulator) Run() (*Result, error) {
+	s.k = sim.NewKernel(s.seed)
+	s.running = make(map[*TaskState]*cluster.Machine)
+	s.pendingDeps = make(map[int]int)
+	s.dependents = make(map[int][]*TaskState)
+	s.jobLeft = make(map[int]int)
+	s.jobStart = make(map[int]sim.Time)
+	s.jobStarted = make(map[int]bool)
+	s.states = make(map[int]*TaskState)
+	s.estFinish = make(map[*cluster.Machine][]estSlot)
+	s.ctx = &Context{ServedWork: make(map[int]float64), Rand: s.k.Rand("policy")}
+
+	for _, job := range s.trace.Jobs {
+		if err := job.ValidateDAG(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+		job := job
+		s.jobLeft[job.ID] = len(job.Tasks)
+		s.k.At(job.Submit, "job-arrive", func(k *sim.Kernel) { s.onJobArrive(job) })
+	}
+	if err := s.k.Run(); err != nil {
+		return nil, fmt.Errorf("sched: run: %w", err)
+	}
+	return s.buildResult(), nil
+}
+
+func (s *Simulator) onJobArrive(job *workload.Job) {
+	for i := range job.Tasks {
+		t := &job.Tasks[i]
+		st := &TaskState{Job: job, Task: t, Ready: s.k.Now()}
+		s.states[t.ID] = st
+		if len(t.Deps) == 0 {
+			s.queue = append(s.queue, st)
+		} else {
+			s.pendingDeps[t.ID] = len(t.Deps)
+			for _, d := range t.Deps {
+				s.dependents[d] = append(s.dependents[d], st)
+			}
+		}
+	}
+	s.scheduleDispatch()
+}
+
+// scheduleDispatch coalesces dispatch into a single zero-delay event, so all
+// arrivals and completions at the same virtual instant are visible to the
+// policy together (a scheduling cycle), and simultaneous submissions can be
+// ordered by the policy.
+func (s *Simulator) scheduleDispatch() {
+	if s.dispatchPending {
+		return
+	}
+	s.dispatchPending = true
+	s.k.After(0, "dispatch", func(k *sim.Kernel) {
+		s.dispatchPending = false
+		s.dispatch()
+	})
+}
+
+// dispatch orders the queue by policy and greedily places tasks.
+func (s *Simulator) dispatch() {
+	if len(s.queue) == 0 {
+		return
+	}
+	s.ctx.Now = s.k.Now()
+	s.policy.Order(s.ctx, s.queue)
+
+	var headReservation sim.Time
+	headSeen := false
+	var remaining []*TaskState
+	blocked := false
+	for _, st := range s.queue {
+		if blocked {
+			remaining = append(remaining, st)
+			continue
+		}
+		m, cl := s.place(st.Task.CPUs)
+		if m == nil {
+			remaining = append(remaining, st)
+			if !s.policy.AllowSkip() {
+				blocked = true
+			}
+			if s.policy.EasyReservation() && !headSeen {
+				headSeen = true
+				headReservation = s.reservationTime(st.Task.CPUs)
+			}
+			continue
+		}
+		if s.policy.EasyReservation() && headSeen {
+			estFin := s.k.Now() + st.Task.RuntimeEstimate/sim.Duration(m.Speed)
+			if estFin > headReservation {
+				// Would delay the head's reservation: put it back.
+				if err := m.Release(st.Task.CPUs); err != nil {
+					panic(err)
+				}
+				remaining = append(remaining, st)
+				continue
+			}
+		}
+		s.start(st, m, cl)
+	}
+	s.queue = remaining
+	s.recordUtilization()
+}
+
+// place finds a machine with cpus free slots, preferring earlier clusters.
+func (s *Simulator) place(cpus int) (*cluster.Machine, *cluster.Cluster) {
+	for _, cl := range s.env.Clusters {
+		for _, m := range cl.Machines {
+			if m.Free() >= cpus {
+				if err := m.Claim(cpus); err != nil {
+					panic(err)
+				}
+				return m, cl
+			}
+		}
+	}
+	return nil, nil
+}
+
+// reservationTime estimates the earliest time cpus slots free up on any
+// machine, from the estimated finishes of running tasks.
+func (s *Simulator) reservationTime(cpus int) sim.Time {
+	best := sim.Time(math.Inf(1))
+	for _, cl := range s.env.Clusters {
+		for _, m := range cl.Machines {
+			if m.Cores < cpus {
+				continue
+			}
+			slots := s.estFinish[m]
+			sort.Slice(slots, func(i, j int) bool { return slots[i].at < slots[j].at })
+			free := m.Free()
+			if free >= cpus {
+				return s.k.Now()
+			}
+			for _, sl := range slots {
+				free += sl.cpus
+				if free >= cpus {
+					if sl.at < best {
+						best = sl.at
+					}
+					break
+				}
+			}
+		}
+	}
+	return best
+}
+
+func (s *Simulator) start(st *TaskState, m *cluster.Machine, cl *cluster.Cluster) {
+	now := s.k.Now()
+	st.Started = true
+	st.StartAt = now
+	runtime := st.Task.Runtime / sim.Duration(m.Speed)
+	// Cross-site placement pays the environment's inter-cluster latency once,
+	// modeling data movement between sites (grids and geo-distributed
+	// datacenters pay more).
+	if len(s.env.Clusters) > 1 && cl != s.env.Clusters[0] {
+		runtime += s.env.InterLatency
+	}
+	st.FinishAt = now + runtime
+	s.running[st] = m
+	est := now + st.Task.RuntimeEstimate/sim.Duration(m.Speed)
+	s.estFinish[m] = append(s.estFinish[m], estSlot{at: est, cpus: st.Task.CPUs})
+	if !s.jobStarted[st.Job.ID] {
+		s.jobStarted[st.Job.ID] = true
+		s.jobStart[st.Job.ID] = now
+	}
+	s.k.At(st.FinishAt, "task-finish", func(k *sim.Kernel) { s.onTaskFinish(st, m) })
+}
+
+func (s *Simulator) onTaskFinish(st *TaskState, m *cluster.Machine) {
+	if err := m.Release(st.Task.CPUs); err != nil {
+		panic(err)
+	}
+	delete(s.running, st)
+	// Drop the estimate slot (first matching).
+	slots := s.estFinish[m]
+	for i := range slots {
+		if slots[i].cpus == st.Task.CPUs {
+			s.estFinish[m] = append(slots[:i], slots[i+1:]...)
+			break
+		}
+	}
+	s.ctx.ServedWork[st.Job.ID] += float64(st.Task.CPUs) * float64(st.Task.Runtime)
+
+	for _, dep := range s.dependents[st.Task.ID] {
+		s.pendingDeps[dep.Task.ID]--
+		if s.pendingDeps[dep.Task.ID] == 0 {
+			dep.Ready = s.k.Now()
+			s.queue = append(s.queue, dep)
+		}
+	}
+	delete(s.dependents, st.Task.ID)
+
+	s.jobLeft[st.Job.ID]--
+	if s.jobLeft[st.Job.ID] == 0 {
+		s.finishJob(st.Job)
+	}
+	s.scheduleDispatch()
+}
+
+func (s *Simulator) finishJob(job *workload.Job) {
+	now := s.k.Now()
+	start := s.jobStart[job.ID]
+	wait := start - job.Submit
+	resp := now - job.Submit
+	js := JobStats{
+		JobID:       job.ID,
+		Submit:      job.Submit,
+		Start:       start,
+		Finish:      now,
+		Wait:        wait,
+		Response:    resp,
+		DeadlineMet: job.Deadline == 0 || resp <= job.Deadline,
+	}
+	// Bounded slowdown against the job's ideal time: the critical path is
+	// the response time under infinite resources, so any queueing — before
+	// the first task or between tasks — counts as slowdown.
+	den := float64(job.CriticalPath())
+	if den < boundedSlowdownTau {
+		den = boundedSlowdownTau
+	}
+	js.Slowdown = float64(resp) / den
+	if js.Slowdown < 1 {
+		js.Slowdown = 1
+	}
+	s.stats = append(s.stats, js)
+}
+
+func (s *Simulator) recordUtilization() {
+	s.rec.Record("util", s.k.Now(), s.env.Utilization())
+}
+
+func (s *Simulator) buildResult() *Result {
+	res := &Result{Policy: s.policy.Name(), Jobs: s.stats, Horizon: s.k.Now()}
+	if len(s.stats) == 0 {
+		return res
+	}
+	var firstSubmit, lastFinish sim.Time
+	firstSubmit = s.stats[0].Submit
+	var sumSd, sumResp, sumWait float64
+	for _, js := range s.stats {
+		if js.Submit < firstSubmit {
+			firstSubmit = js.Submit
+		}
+		if js.Finish > lastFinish {
+			lastFinish = js.Finish
+		}
+		sumSd += js.Slowdown
+		sumResp += float64(js.Response)
+		sumWait += float64(js.Wait)
+		if !js.DeadlineMet {
+			res.DeadlineMisses++
+		}
+	}
+	n := float64(len(s.stats))
+	res.Makespan = lastFinish - firstSubmit
+	res.MeanSlowdown = sumSd / n
+	res.MeanResponse = sumResp / n
+	res.MeanWait = sumWait / n
+	res.UtilizationMean = s.rec.TimeWeightedMean("util", s.k.Now())
+	return res
+}
+
+// RunAll runs the trace under every policy on fresh copies of the
+// environment and returns results keyed by policy name. The environment is
+// rebuilt per policy via envFactory so runs do not share machine state.
+func RunAll(envFactory func() *cluster.Environment, tr *workload.Trace, policies []Policy, seed int64) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(policies))
+	for _, p := range policies {
+		res, err := NewSimulator(envFactory(), cloneTrace(tr), p, seed).Run()
+		if err != nil {
+			return nil, fmt.Errorf("sched: policy %s: %w", p.Name(), err)
+		}
+		out[p.Name()] = res
+	}
+	return out, nil
+}
+
+// cloneTrace deep-copies a trace so concurrent or repeated runs cannot share
+// task state.
+func cloneTrace(tr *workload.Trace) *workload.Trace {
+	cp := &workload.Trace{Name: tr.Name, Jobs: make([]*workload.Job, len(tr.Jobs))}
+	for i, j := range tr.Jobs {
+		nj := *j
+		nj.Tasks = make([]workload.Task, len(j.Tasks))
+		copy(nj.Tasks, j.Tasks)
+		cp.Jobs[i] = &nj
+	}
+	return cp
+}

@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate shared by every simulator in this repository:
+// the datacenter/cluster simulator, the BitTorrent ecosystem simulator, the
+// MMOG world simulator, and the FaaS platform simulator. It offers a virtual
+// clock, a binary-heap event queue with stable FIFO ordering for simultaneous
+// events, named deterministic RNG streams, and run-termination conditions.
+//
+// A Kernel is single-goroutine by design: handlers run sequentially in
+// virtual-time order, so simulation state needs no locking. Determinism is a
+// first-class requirement — two runs with the same seed produce identical
+// event orders and identical results.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds since the start of the
+// simulation. Virtual time is a float64 so that rate-based models (bandwidth,
+// Poisson arrivals) compose without rounding artifacts.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Seconds converts a standard library duration to virtual seconds.
+func Seconds(d time.Duration) Duration { return Duration(d.Seconds()) }
+
+// Handler is a callback invoked when an event fires. The kernel passes itself
+// so handlers can schedule follow-up events.
+type Handler func(k *Kernel)
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   Handler
+	name string
+	dead bool // cancelled
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+type EventRef struct{ ev *event }
+
+// Cancel marks the referenced event as dead; the kernel discards it when it
+// reaches the head of the queue. Cancelling an already-fired or already-
+// cancelled event is a no-op.
+func (r EventRef) Cancel() {
+	if r.ev != nil {
+		r.ev.dead = true
+	}
+}
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop rather than by queue exhaustion or horizon.
+var ErrStopped = errors.New("sim: stopped")
+
+// Kernel is a discrete-event simulation engine.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	seed    int64
+	streams map[string]*rand.Rand
+	stopped bool
+	horizon Time // 0 means no horizon
+	fired   uint64
+}
+
+// NewKernel returns a kernel whose RNG streams derive deterministically from
+// seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		seed:    seed,
+		streams: make(map[string]*rand.Rand),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired reports how many events have been executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending reports how many events are scheduled (including cancelled events
+// not yet discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Rand returns the named deterministic RNG stream, creating it on first use.
+// Distinct stream names decouple the random sequences of independent model
+// components, so adding draws to one component does not perturb another.
+func (k *Kernel) Rand(stream string) *rand.Rand {
+	if r, ok := k.streams[stream]; ok {
+		return r
+	}
+	// Derive a sub-seed from the kernel seed and the stream name using FNV-1a.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= 1099511628211
+	}
+	r := rand.New(rand.NewSource(k.seed ^ int64(h)))
+	k.streams[stream] = r
+	return r
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it would corrupt causality.
+func (k *Kernel) At(at Time, name string, fn Handler) EventRef {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, k.now))
+	}
+	k.seq++
+	e := &event{at: at, seq: k.seq, fn: fn, name: name}
+	heap.Push(&k.queue, e)
+	return EventRef{ev: e}
+}
+
+// After schedules fn to run delay seconds from now. Negative delays panic.
+func (k *Kernel) After(delay Duration, name string, fn Handler) EventRef {
+	return k.At(k.now+delay, name, fn)
+}
+
+// Stop terminates the run after the current handler returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// SetHorizon makes Run return once virtual time would exceed t. Events
+// scheduled after the horizon are not executed.
+func (k *Kernel) SetHorizon(t Time) { k.horizon = t }
+
+// Run executes events in virtual-time order until the queue is empty, the
+// horizon is reached, or Stop is called. It returns ErrStopped only for an
+// explicit Stop; horizon exhaustion and queue exhaustion are normal
+// termination and return nil.
+func (k *Kernel) Run() error {
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		e := heap.Pop(&k.queue).(*event)
+		if e.dead {
+			continue
+		}
+		if k.horizon > 0 && e.at > k.horizon {
+			k.now = k.horizon
+			return nil
+		}
+		if e.at < k.now {
+			return fmt.Errorf("sim: causality violation: event %q at %v < now %v", e.name, e.at, k.now)
+		}
+		k.now = e.at
+		k.fired++
+		e.fn(k)
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Step executes exactly one pending live event and reports whether one was
+// executed. It is intended for tests and debuggers.
+func (k *Kernel) Step() (bool, error) {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		if e.dead {
+			continue
+		}
+		if e.at < k.now {
+			return false, fmt.Errorf("sim: causality violation: event %q at %v < now %v", e.name, e.at, k.now)
+		}
+		k.now = e.at
+		k.fired++
+		e.fn(k)
+		return true, nil
+	}
+	return false, nil
+}

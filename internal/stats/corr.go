@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of paired samples. It
+// returns NaN when lengths differ, are shorter than two, or either variance
+// is zero.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks assigns average ranks to xs (ties share the mean rank).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation of paired samples.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// LinReg holds an ordinary-least-squares fit y = Intercept + Slope*x.
+type LinReg struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// LinearRegression fits OLS to the paired samples.
+func LinearRegression(xs, ys []float64) (LinReg, error) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return LinReg{}, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinReg{}, ErrEmpty
+	}
+	slope := sxy / sxx
+	fit := LinReg{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// statistic stat over xs, using reps resamples at confidence level conf
+// (e.g. 0.95). The RNG makes results reproducible.
+func BootstrapCI(xs []float64, stat func([]float64) float64, reps int, conf float64, r *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 || reps <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	est := make([]float64, reps)
+	buf := make([]float64, len(xs))
+	for i := 0; i < reps; i++ {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		est[i] = stat(buf)
+	}
+	alpha := (1 - conf) / 2
+	return Percentile(est, alpha*100), Percentile(est, (1-alpha)*100)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import "math"
+
+// TwoFactorDecomposition quantifies how much of the variance of a full
+// factorial response table is explained by each factor alone versus their
+// interaction. It is the statistical core of the PAD-triangle analysis
+// (Table 8): the paper's law says graph-processing performance depends on the
+// *interaction* of Platform, Algorithm, and Dataset, not on any factor alone.
+//
+// cells[i][j] holds the (log-)response for level i of factor A and level j of
+// factor B. The decomposition follows the standard two-way ANOVA identity:
+//
+//	SS_total = SS_A + SS_B + SS_interaction
+//
+// (with one observation per cell, the interaction term absorbs the residual).
+type TwoFactorDecomposition struct {
+	SSTotal       float64
+	SSA           float64
+	SSB           float64
+	SSInteraction float64
+	// Fractions of total sum-of-squares (0..1); NaN when SSTotal == 0.
+	FracA, FracB, FracInteraction float64
+}
+
+// DecomposeTwoFactor computes the decomposition for a rectangular response
+// table. Rows are factor-A levels, columns factor-B levels. All rows must
+// have the same length and the table must be at least 2x2.
+func DecomposeTwoFactor(cells [][]float64) (TwoFactorDecomposition, error) {
+	a := len(cells)
+	if a < 2 {
+		return TwoFactorDecomposition{}, ErrEmpty
+	}
+	b := len(cells[0])
+	if b < 2 {
+		return TwoFactorDecomposition{}, ErrEmpty
+	}
+	for _, row := range cells {
+		if len(row) != b {
+			return TwoFactorDecomposition{}, ErrEmpty
+		}
+	}
+
+	grand := 0.0
+	for _, row := range cells {
+		for _, v := range row {
+			grand += v
+		}
+	}
+	grand /= float64(a * b)
+
+	rowMean := make([]float64, a)
+	for i, row := range cells {
+		rowMean[i] = Mean(row)
+	}
+	colMean := make([]float64, b)
+	for j := 0; j < b; j++ {
+		s := 0.0
+		for i := 0; i < a; i++ {
+			s += cells[i][j]
+		}
+		colMean[j] = s / float64(a)
+	}
+
+	var d TwoFactorDecomposition
+	for i := 0; i < a; i++ {
+		da := rowMean[i] - grand
+		d.SSA += float64(b) * da * da
+	}
+	for j := 0; j < b; j++ {
+		db := colMean[j] - grand
+		d.SSB += float64(a) * db * db
+	}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			dt := cells[i][j] - grand
+			d.SSTotal += dt * dt
+			di := cells[i][j] - rowMean[i] - colMean[j] + grand
+			d.SSInteraction += di * di
+		}
+	}
+	if d.SSTotal > 0 {
+		d.FracA = d.SSA / d.SSTotal
+		d.FracB = d.SSB / d.SSTotal
+		d.FracInteraction = d.SSInteraction / d.SSTotal
+	} else {
+		d.FracA, d.FracB, d.FracInteraction = math.NaN(), math.NaN(), math.NaN()
+	}
+	return d, nil
+}
+
+// WinnerChanges counts, over the columns of a response table (lower is
+// better), how many distinct rows are the best in at least one column, and
+// returns that count together with the per-column winner indices. A count
+// greater than 1 is the operational signature of the PAD law: no platform
+// dominates across workloads.
+func WinnerChanges(cells [][]float64) (distinctWinners int, winners []int) {
+	if len(cells) == 0 || len(cells[0]) == 0 {
+		return 0, nil
+	}
+	b := len(cells[0])
+	winners = make([]int, b)
+	seen := make(map[int]bool)
+	for j := 0; j < b; j++ {
+		best := 0
+		for i := 1; i < len(cells); i++ {
+			if cells[i][j] < cells[best][j] {
+				best = i
+			}
+		}
+		winners[j] = best
+		seen[best] = true
+	}
+	return len(seen), winners
+}

@@ -1,0 +1,221 @@
+// Package trace implements the archive formats the paper's dissemination
+// principle calls for (§3.6, FAIR/FOAD): a GWA-style job-trace codec for
+// datacenter workloads, the Peer-to-Peer Trace Archive format for download
+// records, and the Game Trace Archive format for match records. All formats
+// are line-oriented CSV with a header, plus JSON codecs for tool interchange.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"atlarge/internal/sim"
+	"atlarge/internal/workload"
+)
+
+// jobHeader is the GWA-like column set.
+var jobHeader = []string{
+	"job_id", "submit_s", "task_id", "cpus", "runtime_s", "estimate_s", "deps", "class", "deadline_s",
+}
+
+// WriteJobs encodes a workload trace as GWA-style CSV, one row per task.
+func WriteJobs(w io.Writer, tr *workload.Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(jobHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, j := range tr.Jobs {
+		for _, t := range j.Tasks {
+			deps := make([]string, len(t.Deps))
+			for i, d := range t.Deps {
+				deps[i] = strconv.Itoa(d)
+			}
+			row := []string{
+				strconv.Itoa(j.ID),
+				formatF(float64(j.Submit)),
+				strconv.Itoa(t.ID),
+				strconv.Itoa(t.CPUs),
+				formatF(float64(t.Runtime)),
+				formatF(float64(t.RuntimeEstimate)),
+				strings.Join(deps, ";"),
+				strconv.Itoa(int(j.Class)),
+				formatF(float64(j.Deadline)),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJobs decodes a GWA-style CSV back into a workload trace.
+func ReadJobs(r io.Reader) (*workload.Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if got := strings.Join(rows[0], ","); got != strings.Join(jobHeader, ",") {
+		return nil, fmt.Errorf("trace: unexpected header %q", got)
+	}
+	jobs := map[int]*workload.Job{}
+	var order []int
+	for ln, row := range rows[1:] {
+		if len(row) != len(jobHeader) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", ln+2, len(row), len(jobHeader))
+		}
+		jobID, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d job_id: %w", ln+2, err)
+		}
+		submit, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d submit: %w", ln+2, err)
+		}
+		taskID, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d task_id: %w", ln+2, err)
+		}
+		cpus, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d cpus: %w", ln+2, err)
+		}
+		runtime, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d runtime: %w", ln+2, err)
+		}
+		estimate, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d estimate: %w", ln+2, err)
+		}
+		var deps []int
+		if row[6] != "" {
+			for _, d := range strings.Split(row[6], ";") {
+				dv, err := strconv.Atoi(d)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d deps: %w", ln+2, err)
+				}
+				deps = append(deps, dv)
+			}
+		}
+		class, err := strconv.Atoi(row[7])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d class: %w", ln+2, err)
+		}
+		deadline, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d deadline: %w", ln+2, err)
+		}
+		job, ok := jobs[jobID]
+		if !ok {
+			job = &workload.Job{
+				ID:       jobID,
+				Submit:   sim.Time(submit),
+				Class:    workload.Class(class),
+				Deadline: sim.Duration(deadline),
+			}
+			jobs[jobID] = job
+			order = append(order, jobID)
+		}
+		job.Tasks = append(job.Tasks, workload.Task{
+			ID:              taskID,
+			JobID:           jobID,
+			CPUs:            cpus,
+			Runtime:         sim.Duration(runtime),
+			RuntimeEstimate: sim.Duration(estimate),
+			Deps:            deps,
+		})
+	}
+	tr := &workload.Trace{Name: "decoded"}
+	for _, id := range order {
+		tr.Jobs = append(tr.Jobs, jobs[id])
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return tr, nil
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// P2PRecord is one row of the Peer-to-Peer Trace Archive.
+type P2PRecord struct {
+	PeerID   int     `json:"peer_id"`
+	Class    string  `json:"class"`
+	JoinS    float64 `json:"join_s"`
+	DoneS    float64 `json:"done_s"`
+	Duration float64 `json:"duration_s"`
+	Group    int     `json:"group,omitempty"`
+}
+
+// WriteP2P encodes records as JSON lines.
+func WriteP2P(w io.Writer, recs []P2PRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: p2p encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadP2P decodes JSON-lines records.
+func ReadP2P(r io.Reader) ([]P2PRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []P2PRecord
+	for {
+		var rec P2PRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: p2p decode: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// GameRecord is one row of the Game Trace Archive (one match).
+type GameRecord struct {
+	MatchID     int     `json:"match_id"`
+	StartH      float64 `json:"start_h"`
+	Players     []int   `json:"players"`
+	Winner      int     `json:"winner"`
+	DurationMin float64 `json:"duration_min"`
+}
+
+// WriteGames encodes match records as JSON lines.
+func WriteGames(w io.Writer, recs []GameRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: game encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadGames decodes JSON-lines match records.
+func ReadGames(r io.Reader) ([]GameRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []GameRecord
+	for {
+		var rec GameRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: game decode: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atlarge/internal/workload"
+)
+
+func TestJobRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	orig := workload.StandardGenerator(workload.ClassScientific).Generate(20, r)
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(orig.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(got.Jobs), len(orig.Jobs))
+	}
+	for i, j := range orig.Jobs {
+		g := got.Jobs[i]
+		if g.ID != j.ID || g.Submit != j.Submit || g.Class != j.Class || g.Deadline != j.Deadline {
+			t.Fatalf("job %d header mismatch: %+v vs %+v", i, g, j)
+		}
+		if len(g.Tasks) != len(j.Tasks) {
+			t.Fatalf("job %d tasks = %d, want %d", i, len(g.Tasks), len(j.Tasks))
+		}
+		for k, task := range j.Tasks {
+			gt := g.Tasks[k]
+			if gt.ID != task.ID || gt.CPUs != task.CPUs || gt.Runtime != task.Runtime ||
+				gt.RuntimeEstimate != task.RuntimeEstimate || len(gt.Deps) != len(task.Deps) {
+				t.Fatalf("job %d task %d mismatch: %+v vs %+v", i, k, gt, task)
+			}
+		}
+	}
+}
+
+func TestReadJobsErrors(t *testing.T) {
+	if _, err := ReadJobs(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadJobs(strings.NewReader("bogus,header\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	bad := "job_id,submit_s,task_id,cpus,runtime_s,estimate_s,deps,class,deadline_s\nx,0,1,1,1,1,,1,0\n"
+	if _, err := ReadJobs(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric job id accepted")
+	}
+	cyclic := "job_id,submit_s,task_id,cpus,runtime_s,estimate_s,deps,class,deadline_s\n1,0,1,1,1,1,1,1,0\n"
+	if _, err := ReadJobs(strings.NewReader(cyclic)); err == nil {
+		t.Error("self-dependent task accepted")
+	}
+}
+
+func TestP2PRoundTrip(t *testing.T) {
+	recs := []P2PRecord{
+		{PeerID: 1, Class: "adsl", JoinS: 0, DoneS: 100, Duration: 100},
+		{PeerID: 2, Class: "cable", JoinS: 5, DoneS: 80, Duration: 75, Group: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteP2P(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadP2P(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Group != 3 || got[0].Class != "adsl" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadP2P(strings.NewReader("{broken")); err == nil {
+		t.Error("broken json accepted")
+	}
+}
+
+func TestGameRoundTrip(t *testing.T) {
+	recs := []GameRecord{
+		{MatchID: 1, StartH: 0.5, Players: []int{1, 2, 3, 4}, Winner: 1, DurationMin: 30},
+	}
+	var buf bytes.Buffer
+	if err := WriteGames(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGames(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Players) != 4 || got[0].Winner != 1 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadGames(strings.NewReader("not json")); err == nil {
+		t.Error("broken json accepted")
+	}
+}

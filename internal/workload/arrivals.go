@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"atlarge/internal/sim"
+)
+
+// ArrivalProcess produces a sequence of submission times.
+type ArrivalProcess interface {
+	// Times returns n arrival times starting at 0, non-decreasing.
+	Times(n int, r *rand.Rand) []sim.Time
+	// String describes the process for reports.
+	String() string
+}
+
+// PoissonArrivals is the classical memoryless arrival process with the given
+// rate (events per virtual second). The paper notes that the seminal
+// Pouwelse et al. BitTorrent study debunked Poisson arrivals for P2P; we keep
+// it as the baseline to contrast with bursty processes.
+type PoissonArrivals struct{ Rate float64 }
+
+// Times implements ArrivalProcess.
+func (p PoissonArrivals) Times(n int, r *rand.Rand) []sim.Time {
+	out := make([]sim.Time, n)
+	t := sim.Time(0)
+	for i := 0; i < n; i++ {
+		t += sim.Duration(r.ExpFloat64() / p.Rate)
+		out[i] = t
+	}
+	return out
+}
+
+func (p PoissonArrivals) String() string { return "poisson" }
+
+// WeibullArrivals draws inter-arrival gaps from a Weibull distribution;
+// shape K < 1 yields the bursty arrivals observed in grid and P2P traces.
+type WeibullArrivals struct {
+	Scale float64
+	K     float64
+}
+
+// Times implements ArrivalProcess.
+func (w WeibullArrivals) Times(n int, r *rand.Rand) []sim.Time {
+	d := sim.Weibull{Lambda: w.Scale, K: w.K}
+	out := make([]sim.Time, n)
+	t := sim.Time(0)
+	for i := 0; i < n; i++ {
+		t += sim.Duration(d.Sample(r))
+		out[i] = t
+	}
+	return out
+}
+
+func (w WeibullArrivals) String() string { return "weibull" }
+
+// DiurnalArrivals modulates a base Poisson rate with a day/night sinusoid of
+// the given period and relative amplitude in [0,1). It reproduces the
+// short-term dynamics of MMOG and business-critical workloads.
+type DiurnalArrivals struct {
+	BaseRate  float64
+	Period    sim.Duration
+	Amplitude float64
+}
+
+// Times implements ArrivalProcess via thinning of a dominating Poisson
+// process.
+func (d DiurnalArrivals) Times(n int, r *rand.Rand) []sim.Time {
+	maxRate := d.BaseRate * (1 + d.Amplitude)
+	out := make([]sim.Time, 0, n)
+	t := sim.Time(0)
+	for len(out) < n {
+		t += sim.Duration(r.ExpFloat64() / maxRate)
+		phase := 2 * math.Pi * float64(t) / float64(d.Period)
+		rate := d.BaseRate * (1 + d.Amplitude*math.Sin(phase))
+		if r.Float64() < rate/maxRate {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (d DiurnalArrivals) String() string { return "diurnal" }
+
+// FlashcrowdArrivals superimposes a sudden burst on a base Poisson process:
+// at StartAt, the rate multiplies by Spike and then decays exponentially with
+// the given half-life. This is the arrival model behind the paper's
+// P2P flashcrowd studies (Zhang et al. 2011).
+type FlashcrowdArrivals struct {
+	BaseRate float64
+	StartAt  sim.Time
+	Spike    float64 // multiplicative surge, e.g. 50
+	HalfLife sim.Duration
+}
+
+// Times implements ArrivalProcess via thinning.
+func (f FlashcrowdArrivals) Times(n int, r *rand.Rand) []sim.Time {
+	maxRate := f.BaseRate * f.Spike
+	out := make([]sim.Time, 0, n)
+	t := sim.Time(0)
+	for len(out) < n {
+		t += sim.Duration(r.ExpFloat64() / maxRate)
+		rate := f.RateAt(t)
+		if r.Float64() < rate/maxRate {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RateAt returns the instantaneous arrival rate at time t.
+func (f FlashcrowdArrivals) RateAt(t sim.Time) float64 {
+	if t < f.StartAt {
+		return f.BaseRate
+	}
+	elapsed := float64(t - f.StartAt)
+	decay := math.Exp2(-elapsed / float64(f.HalfLife))
+	return f.BaseRate * (1 + (f.Spike-1)*decay)
+}
+
+func (f FlashcrowdArrivals) String() string { return "flashcrowd" }
