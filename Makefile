@@ -1,0 +1,38 @@
+# Local development and CI invoke the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test test-short lint fmt vet bench run-all clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+lint: fmt vet
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# One iteration per benchmark: a smoke pass that keeps bench_test.go and
+# ablation_bench_test.go compiling and running without a full measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+run-all:
+	$(GO) run ./cmd/atlarge run --all --parallel 4
+
+clean:
+	$(GO) clean ./...

@@ -6,8 +6,11 @@
 //
 // The framework itself (reasoning model, principles, challenges, Basic
 // Design Cycle, design-space exploration) is re-exported here from the
-// internal packages; the per-artifact experiments are exposed through
-// RunExperiment and the Experiments registry.
+// internal packages. The per-artifact experiments are first-class
+// descriptors in a Registry (see DefaultRegistry); RunExperiment runs one,
+// and Runner/RunAll execute any subset across a bounded worker pool with
+// deterministic per-experiment seed derivation and optional replica
+// aggregation.
 package atlarge
 
 import (

@@ -64,6 +64,7 @@ func TestRunAllExperiments(t *testing.T) {
 	}
 	for _, id := range Experiments() {
 		t.Run(id, func(t *testing.T) {
+			t.Parallel() // experiments are independent; overlap the heavy ones
 			rep, err := RunExperiment(id, 42)
 			if err != nil {
 				t.Fatal(err)

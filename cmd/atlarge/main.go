@@ -2,19 +2,31 @@
 //
 // Usage:
 //
-//	atlarge list
-//	atlarge run <experiment|all> [-seed N]
+//	atlarge list [-tag T]
+//	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]
 //
 // Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
+//
+// run executes the requested experiments (or the whole catalog with --all)
+// on a bounded worker pool. Seeds are derived per experiment and replica, so
+// reports are identical for every --parallel level; --format json emits the
+// machine-readable report set.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"atlarge"
 )
+
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -24,41 +36,116 @@ func main() {
 }
 
 func run(args []string) error {
+	return runTo(os.Stdout, args)
+}
+
+// jsonReport is one experiment in the --format json output. It carries no
+// timing, so output for a fixed seed is byte-identical across runs and
+// parallelism levels.
+type jsonReport struct {
+	ID        string   `json:"id"`
+	Title     string   `json:"title"`
+	Seed      int64    `json:"seed"`
+	Replicas  int      `json:"replicas"`
+	Rows      []string `json:"rows"`
+	Aggregate []string `json:"aggregate,omitempty"`
+}
+
+type jsonOutput struct {
+	Seed        int64        `json:"seed"`
+	Experiments []jsonReport `json:"experiments"`
+}
+
+func runTo(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: atlarge <list|run> [experiment|all] [-seed N]")
+		return fmt.Errorf("usage: atlarge <list|run> [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]")
 	}
 	switch args[0] {
 	case "list":
-		for _, id := range atlarge.Experiments() {
-			fmt.Println(id)
+		fs := newFlagSet("list")
+		tag := fs.String("tag", "", "only experiments carrying this tag")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		for _, e := range atlarge.DefaultRegistry().Experiments() {
+			if *tag != "" && !e.HasTag(*tag) {
+				continue
+			}
+			fmt.Fprintln(w, e.ID)
 		}
 		return nil
 	case "run":
-		fs := flag.NewFlagSet("run", flag.ContinueOnError)
-		seed := fs.Int64("seed", 42, "experiment seed")
+		fs := newFlagSet("run")
+		var (
+			all      = fs.Bool("all", false, "run the full experiment catalog")
+			seed     = fs.Int64("seed", 42, "base seed for per-experiment seed derivation")
+			parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+			replicas = fs.Int("replicas", 1, "replicas per experiment, aggregated as mean±95% CI")
+			format   = fs.String("format", "text", "output format: text or json")
+		)
+		// Accept ids anywhere around the flags (atlarge run fig9 -seed 7,
+		// atlarge run --seed 7 fig9 --format json): collect leading
+		// positionals, parse flags, and resume on what Parse stopped at.
 		rest := args[1:]
-		target := "all"
-		if len(rest) > 0 && rest[0][0] != '-' {
-			target = rest[0]
-			rest = rest[1:]
-		}
-		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		ids := []string{target}
-		if target == "all" {
-			ids = atlarge.Experiments()
-		}
-		for _, id := range ids {
-			rep, err := atlarge.RunExperiment(id, *seed)
-			if err != nil {
+		var ids []string
+		for len(rest) > 0 {
+			if !strings.HasPrefix(rest[0], "-") {
+				ids = append(ids, rest[0])
+				rest = rest[1:]
+				continue
+			}
+			if err := fs.Parse(rest); err != nil {
 				return err
 			}
-			fmt.Printf("== %s: %s ==\n", rep.ID, rep.Title)
-			for _, row := range rep.Rows {
-				fmt.Println("  " + row)
+			rest = fs.Args()
+		}
+		if *format != "text" && *format != "json" {
+			return fmt.Errorf("unknown format %q (want text or json)", *format)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			*all = true
+		}
+		if len(ids) == 0 {
+			*all = true
+		}
+		if *all {
+			ids = atlarge.Experiments()
+		}
+
+		runner := &atlarge.Runner{Parallelism: *parallel, Replicas: *replicas}
+		results, err := runner.Run(ids, *seed)
+		if err != nil {
+			return err
+		}
+		if *format == "json" {
+			out := jsonOutput{Seed: *seed}
+			for _, res := range results {
+				out.Experiments = append(out.Experiments, jsonReport{
+					ID:        res.ID,
+					Title:     res.Title,
+					Seed:      res.Seed,
+					Replicas:  len(res.Reports),
+					Rows:      res.Report.Rows,
+					Aggregate: res.Aggregate,
+				})
 			}
-			fmt.Println()
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		}
+		for _, res := range results {
+			fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title)
+			for _, row := range res.Report.Rows {
+				fmt.Fprintln(w, "  "+row)
+			}
+			if len(res.Aggregate) > 0 {
+				fmt.Fprintf(w, "  -- aggregate over %d replicas (mean±95%% CI) --\n", len(res.Reports))
+				for _, row := range res.Aggregate {
+					fmt.Fprintln(w, "  "+row)
+				}
+			}
+			fmt.Fprintln(w)
 		}
 		return nil
 	default:

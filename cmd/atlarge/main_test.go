@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestRunUsageErrors(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -12,16 +17,92 @@ func TestRunUsageErrors(t *testing.T) {
 	if err := run([]string{"run", "nope"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+	if err := run([]string{"run", "fig9", "--format", "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
 }
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"list"}); err != nil {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"list"}); err != nil {
 		t.Fatalf("list: %v", err)
+	}
+	ids := strings.Fields(buf.String())
+	if len(ids) != 12 || ids[0] != "fig1" || ids[len(ids)-1] != "bdc" {
+		t.Errorf("list = %v", ids)
+	}
+	buf.Reset()
+	if err := runTo(&buf, []string{"list", "-tag", "slow"}); err != nil {
+		t.Fatalf("list -tag: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "tab9" {
+		t.Errorf("list -tag slow = %q, want tab9", got)
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"run", "fig9", "-seed", "7"}); err != nil {
 		t.Fatalf("run fig9: %v", err)
+	}
+}
+
+// TestRunInterleavedFlags pins that ids may appear between and after flags.
+func TestRunInterleavedFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"run", "--seed", "7", "fig9", "--format", "json", "bdc"}); err != nil {
+		t.Fatalf("interleaved: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"id": "fig9"`) || !strings.Contains(out, `"id": "bdc"`) {
+		t.Errorf("interleaved ids not run:\n%s", out)
+	}
+	if !strings.Contains(out, `"seed": 7`) {
+		t.Errorf("seed flag lost:\n%s", out)
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{"run", "fig7", "fig9", "bdc", "--seed", "11", "--replicas", "2", "--parallel", parallel, "--format", "json"}
+	}
+	var seq, par bytes.Buffer
+	if err := runTo(&seq, args("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTo(&par, args("8")); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Error("parallel JSON differs from sequential")
+	}
+	var out struct {
+		Seed        int64 `json:"seed"`
+		Experiments []struct {
+			ID        string   `json:"id"`
+			Replicas  int      `json:"replicas"`
+			Rows      []string `json:"rows"`
+			Aggregate []string `json:"aggregate"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(seq.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Seed != 11 || len(out.Experiments) != 3 {
+		t.Fatalf("unexpected shape: %+v", out)
+	}
+	for _, e := range out.Experiments {
+		if e.Replicas != 2 || len(e.Rows) == 0 || len(e.Aggregate) == 0 {
+			t.Errorf("experiment %s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"run", "fig9"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== fig9: Figure 9") {
+		t.Errorf("text header missing:\n%s", buf.String())
 	}
 }

@@ -4,18 +4,24 @@
 //
 // Usage:
 //
-//	dcsim -workload Sci -env CL -policy portfolio -jobs 200 -seed 1
+//	dcsim -workload Sci -env CL -policy portfolio -jobs 200 -seed 1 [-replicas R] [-format text|json]
+//
+// With -replicas > 1 the simulation repeats under derived seeds and the
+// metrics are reported as mean ± half-width of a 95% confidence interval.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"atlarge"
 	"atlarge/internal/cluster"
 	"atlarge/internal/portfolio"
 	"atlarge/internal/sched"
+	"atlarge/internal/stats"
 	"atlarge/internal/workload"
 )
 
@@ -26,6 +32,20 @@ func main() {
 	}
 }
 
+// metrics is one replica's outcome, or (with CI set) the aggregate.
+type metrics struct {
+	Policy       string  `json:"policy"`
+	Workload     string  `json:"workload"`
+	Environment  string  `json:"environment"`
+	Jobs         int     `json:"jobs"`
+	Replicas     int     `json:"replicas"`
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MeanResponse float64 `json:"mean_response_s"`
+	// CI half-widths (95%, normal approximation); zero for one replica.
+	SlowdownCI float64 `json:"mean_slowdown_ci"`
+	ResponseCI float64 `json:"mean_response_s_ci"`
+}
+
 func run() error {
 	var (
 		workloadName = flag.String("workload", "Sci", "workload class: Syn Sci CE BC BD G Ind")
@@ -33,8 +53,16 @@ func run() error {
 		policyName   = flag.String("policy", "portfolio", "policy name or 'portfolio'")
 		jobs         = flag.Int("jobs", 200, "number of jobs")
 		seed         = flag.Int64("seed", 1, "random seed")
+		replicas     = flag.Int("replicas", 1, "replicas under derived seeds, aggregated as mean±95% CI")
+		format       = flag.String("format", "text", "output format: text or json")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	if *replicas < 1 {
+		*replicas = 1
+	}
 
 	class, err := parseClass(*workloadName)
 	if err != nil {
@@ -44,46 +72,95 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tr := workload.StandardGenerator(class).Generate(*jobs, rand.New(rand.NewSource(*seed)))
+
+	var slowdowns, responses []float64
+	for rep := 0; rep < *replicas; rep++ {
+		// Replica 0 runs the base seed (so a single run reproduces the
+		// classic -seed behavior); further replicas use the shared seed
+		// derivation to decorrelate them across adjacent base seeds.
+		repSeed := *seed
+		if rep > 0 {
+			repSeed = atlarge.DeriveSeed(*seed, "dcsim", rep)
+		}
+		sd, resp, err := runOnce(class, kind, *policyName, *jobs, repSeed, *format == "text" && *replicas == 1)
+		if err != nil {
+			return err
+		}
+		slowdowns = append(slowdowns, sd)
+		responses = append(responses, resp)
+	}
+
+	m := metrics{
+		Policy:       *policyName,
+		Workload:     class.String(),
+		Environment:  kind.String(),
+		Jobs:         *jobs,
+		Replicas:     *replicas,
+		MeanSlowdown: stats.Mean(slowdowns),
+		MeanResponse: stats.Mean(responses),
+		SlowdownCI:   stats.HalfWidth95(slowdowns),
+		ResponseCI:   stats.HalfWidth95(responses),
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	}
+	if *replicas > 1 {
+		fmt.Printf("%s on %s/%s over %d replicas: mean slowdown %.2f±%.2f, mean response %.0f±%.0fs\n",
+			m.Policy, m.Workload, m.Environment, m.Replicas,
+			m.MeanSlowdown, m.SlowdownCI, m.MeanResponse, m.ResponseCI)
+	}
+	return nil
+}
+
+// runOnce executes one simulation replica and returns (mean slowdown, mean
+// response). With verbose set it prints the full per-window/per-job detail.
+func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs int, seed int64, verbose bool) (float64, float64, error) {
+	tr := workload.StandardGenerator(class).Generate(jobs, rand.New(rand.NewSource(seed)))
 	envFactory := func() *cluster.Environment { return cluster.StandardEnvironment(kind) }
 
-	if *policyName == "portfolio" {
+	if policyName == "portfolio" {
 		s := &portfolio.Scheduler{
 			Policies:   sched.DefaultPortfolio(),
 			Selector:   portfolio.Exhaustive{},
 			WindowSize: 25,
 			EnvFactory: envFactory,
-			Seed:       *seed,
+			Seed:       seed,
 		}
 		res, err := s.Run(tr)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
-		fmt.Printf("portfolio scheduler on %s/%s: %d windows, mean slowdown %.2f, mean response %.0fs, %d selection sims\n",
-			class, kind, len(res.Choices), res.MeanSlowdown, res.MeanResponse, res.TotalSimRuns)
-		for _, c := range res.Choices {
-			fmt.Printf("  window %2d -> %-10s realized slowdown %.2f\n", c.Window, c.Policy, c.Realized)
+		if verbose {
+			fmt.Printf("portfolio scheduler on %s/%s: %d windows, mean slowdown %.2f, mean response %.0fs, %d selection sims\n",
+				class, kind, len(res.Choices), res.MeanSlowdown, res.MeanResponse, res.TotalSimRuns)
+			for _, c := range res.Choices {
+				fmt.Printf("  window %2d -> %-10s realized slowdown %.2f\n", c.Window, c.Policy, c.Realized)
+			}
 		}
-		return nil
+		return res.MeanSlowdown, res.MeanResponse, nil
 	}
 
 	var policy sched.Policy
 	for _, p := range sched.DefaultPortfolio() {
-		if p.Name() == *policyName {
+		if p.Name() == policyName {
 			policy = p
 		}
 	}
 	if policy == nil {
-		return fmt.Errorf("unknown policy %q", *policyName)
+		return 0, 0, fmt.Errorf("unknown policy %q", policyName)
 	}
-	res, err := sched.NewSimulator(envFactory(), tr, policy, *seed).Run()
+	res, err := sched.NewSimulator(envFactory(), tr, policy, seed).Run()
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	fmt.Printf("%s on %s/%s: %d jobs, makespan %.0fs, mean slowdown %.2f, mean wait %.0fs, utilization %.2f\n",
-		policy.Name(), class, kind, len(res.Jobs), float64(res.Makespan),
-		res.MeanSlowdown, res.MeanWait, res.UtilizationMean)
-	return nil
+	if verbose {
+		fmt.Printf("%s on %s/%s: %d jobs, makespan %.0fs, mean slowdown %.2f, mean wait %.0fs, utilization %.2f\n",
+			policy.Name(), class, kind, len(res.Jobs), float64(res.Makespan),
+			res.MeanSlowdown, res.MeanWait, res.UtilizationMean)
+	}
+	return res.MeanSlowdown, float64(res.MeanResponse), nil
 }
 
 func parseClass(s string) (workload.Class, error) {

@@ -1,0 +1,113 @@
+package atlarge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atlarge/internal/biblio"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: keyword presence in top systems venues (2013-2018)",
+		Tags:  []string{"figure", "biblio", "fast"},
+		Order: 10,
+		Run:   runFig1,
+	})
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: design articles per venue per 5-year block since 1980",
+		Tags:  []string{"figure", "biblio", "fast"},
+		Order: 20,
+		Run:   runFig2,
+	})
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: violin summaries of review scores (merit/quality/topic)",
+		Tags:  []string{"figure", "biblio", "fast"},
+		Order: 30,
+		Run:   runFig3,
+	})
+}
+
+func runFig1(seed int64) (*Report, error) {
+	cfg := biblio.DefaultCorpusConfig()
+	cfg.Seed = seed
+	corpus, err := biblio.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig1", Title: "Figure 1: keyword presence in top systems venues (2013-2018)"}
+	for _, kc := range biblio.Figure1(corpus) {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-18s %6d", kc.Keyword, kc.Count))
+	}
+	return rep, nil
+}
+
+func runFig2(seed int64) (*Report, error) {
+	cfg := biblio.DefaultCorpusConfig()
+	cfg.Seed = seed
+	corpus, err := biblio.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig2", Title: "Figure 2: design articles per venue per 5-year block since 1980"}
+	rows := biblio.Figure2(corpus)
+	byVenue := map[string][]biblio.BlockCount{}
+	var venues []string
+	for _, r := range rows {
+		if _, ok := byVenue[r.Venue]; !ok {
+			venues = append(venues, r.Venue)
+		}
+		byVenue[r.Venue] = append(byVenue[r.Venue], r)
+	}
+	trend := biblio.Figure2Trend(rows)
+	for _, v := range venues {
+		var parts []string
+		total := 0
+		for _, b := range byVenue[v] {
+			parts = append(parts, fmt.Sprintf("%d:%d", b.BlockStart, b.Designs))
+			total += b.Designs
+		}
+		mark := ""
+		if trend[v] {
+			mark = "  [post-2000 increase]"
+		}
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s total=%-5d %s%s", v, total, strings.Join(parts, " "), mark))
+	}
+	return rep, nil
+}
+
+func runFig3(seed int64) (*Report, error) {
+	cfg := biblio.DefaultReviewConfig()
+	cfg.Seed = seed
+	reviews, err := biblio.GenerateReviews(cfg)
+	if err != nil {
+		return nil, err
+	}
+	violins, err := biblio.Figure3(reviews)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig3", Title: "Figure 3: violin summaries of review scores (merit/quality/topic)"}
+	var cats []string
+	for c := range violins {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		for _, aspect := range []biblio.Aspect{biblio.AspectMerit, biblio.AspectQuality, biblio.AspectTopic} {
+			v := violins[c][aspect]
+			rep.Rows = append(rep.Rows, fmt.Sprintf(
+				"%-22s %-8s n=%-4d mean=%.2f median=%.1f IQR=[%.1f,%.1f] whiskers=[%.1f,%.1f]",
+				c, aspect, v.N, v.Mean, v.Median, v.Q1, v.Q3, v.WhiskerLo, v.WhiskerHi))
+		}
+	}
+	f := biblio.AnalyzeFigure3(reviews, violins)
+	rep.Rows = append(rep.Rows, fmt.Sprintf(
+		"findings: design merit mean %.2f vs non-design %.2f; %.0f%% of design subs score <3; topic median %.1f",
+		f.DesignMeritMean, f.NonDesignMeritMean, f.DesignBelow3Pct, f.TopicMedian))
+	return rep, nil
+}

@@ -1,0 +1,47 @@
+package atlarge
+
+import (
+	"fmt"
+	"sort"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "fig7",
+		Title: "Figures 6-7: design-space exploration processes",
+		Tags:  []string{"figure", "designspace", "fast"},
+		Order: 40,
+		Run:   runFig7,
+	})
+}
+
+func runFig7(seed int64) (*Report, error) {
+	res, err := RunFigure7(6, 2, 0.06, 600, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig7", Title: "Figures 6-7: design-space exploration processes"}
+	var names []string
+	for n := range res.Outcomes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		o := res.Outcomes[n]
+		rep.Rows = append(rep.Rows, fmt.Sprintf(
+			"%-14s attempts=%-4d solutions=%-3d failures=%-4d hit-rate=%.3f",
+			n, o.Attempts, o.Solutions, o.Failures, o.HitRate))
+	}
+	co := res.CoEvolving
+	h1, h2 := 0.0, 0.0
+	if co.Phase1.Attempts > 0 {
+		h1 = float64(co.Phase1.Solutions) / float64(co.Phase1.Attempts)
+	}
+	if co.Phase2.Attempts > 0 {
+		h2 = float64(co.Phase2.Solutions) / float64(co.Phase2.Attempts)
+	}
+	rep.Rows = append(rep.Rows, fmt.Sprintf(
+		"co-evolving phases: problem-1 hit-rate %.3f -> after evolution %.3f (evolved=%v)",
+		h1, h2, co.Evolved))
+	return rep, nil
+}

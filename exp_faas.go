@@ -1,0 +1,29 @@
+package atlarge
+
+import (
+	"fmt"
+
+	"atlarge/internal/faas"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "tab7",
+		Title: "Table 7: co-evolving problem-solutions in serverless",
+		Tags:  []string{"table", "faas", "fast"},
+		Order: 80,
+		Run:   runTab7,
+	})
+}
+
+func runTab7(seed int64) (*Report, error) {
+	rows, err := faas.RunTable7(seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "tab7", Title: "Table 7: co-evolving problem-solutions in serverless"}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-22s %-26s %s", r.Study, r.Feature, r.Finding))
+	}
+	return rep, nil
+}

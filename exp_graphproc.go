@@ -1,0 +1,51 @@
+package atlarge
+
+import (
+	"fmt"
+	"sort"
+
+	"atlarge/internal/graphproc"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "tab8",
+		Title: "Table 8: the Graphalytics ecosystem and the PAD/HPAD laws",
+		Tags:  []string{"table", "graphproc", "fast"},
+		Order: 90,
+		Run:   runTab8,
+	})
+}
+
+func runTab8(seed int64) (*Report, error) {
+	cfg := graphproc.DefaultBenchmarkConfig()
+	cfg.Seed = seed
+	res, err := graphproc.RunBenchmark(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "tab8", Title: "Table 8: the Graphalytics ecosystem and the PAD/HPAD laws"}
+	pad, err := graphproc.AnalyzePAD(res)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, fmt.Sprintf(
+		"PAD law: %d distinct winning platforms; variance split platform=%.2f workload=%.2f interaction=%.2f",
+		pad.DistinctWinners, pad.PlatformFrac, pad.WorkloadFrac, pad.InteractionFrac))
+	var cols []string
+	for c := range pad.WinnerByColumn {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("winner %-18s %s", c, pad.WinnerByColumn[c]))
+	}
+	hpad, err := graphproc.AnalyzeHPAD(res, cfg.Engines)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, fmt.Sprintf(
+		"HPAD: winners without H=%d, with H=%d; heterogeneous platform wins %d columns",
+		hpad.WinnersWithoutH, hpad.WinnersWithH, hpad.HWinsColumns))
+	return rep, nil
+}

@@ -1,0 +1,26 @@
+package atlarge
+
+import (
+	"fmt"
+
+	"atlarge/internal/mmog"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "tab6",
+		Title: "Table 6: co-evolving problem-solutions in MMOG",
+		Tags:  []string{"table", "mmog", "fast"},
+		Order: 70,
+		Run:   runTab6,
+	})
+}
+
+func runTab6(seed int64) (*Report, error) {
+	rows := mmog.RunTable6(seed)
+	rep := &Report{ID: "tab6", Title: "Table 6: co-evolving problem-solutions in MMOG"}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %-28s %s", r.Study, r.Feature, r.Finding))
+	}
+	return rep, nil
+}

@@ -1,0 +1,29 @@
+package atlarge
+
+import (
+	"fmt"
+
+	"atlarge/internal/p2p"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "tab5",
+		Title: "Table 5: co-evolving problem-solutions in P2P",
+		Tags:  []string{"table", "p2p", "fast"},
+		Order: 60,
+		Run:   runTab5,
+	})
+}
+
+func runTab5(seed int64) (*Report, error) {
+	rows, err := p2p.RunTable5(seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "tab5", Title: "Table 5: co-evolving problem-solutions in P2P"}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-18s %-22s %s", r.Study, r.Feature, r.Finding))
+	}
+	return rep, nil
+}

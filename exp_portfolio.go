@@ -1,0 +1,35 @@
+package atlarge
+
+import (
+	"fmt"
+
+	"atlarge/internal/portfolio"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "tab9",
+		Title: "Table 9: portfolio scheduling across workloads and environments",
+		Tags:  []string{"table", "portfolio", "slow"},
+		Order: 100,
+		Run:   runTab9,
+	})
+}
+
+func runTab9(seed int64) (*Report, error) {
+	cfg := portfolio.DefaultTable9Config()
+	cfg.Seed = seed
+	rows, err := portfolio.RunTable9(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "tab9", Title: "Table 9: portfolio scheduling across workloads and environments"}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, fmt.Sprintf(
+			"%-22s W=%-8s Env=%-5s PS=%.2f best=%.2f(%s) worst=%.2f(%s) regret=%+.1f%% -> %s | next: %s",
+			r.Study, r.Workload, r.Environment, r.Portfolio,
+			r.BestStatic, r.BestPolicy, r.WorstStatic, r.WorstPolicy,
+			100*r.SelectionRegret, r.Finding, r.NewQuestion))
+	}
+	return rep, nil
+}

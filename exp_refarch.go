@@ -1,0 +1,45 @@
+package atlarge
+
+import (
+	"fmt"
+	"strings"
+
+	"atlarge/internal/refarch"
+)
+
+func init() {
+	defaultRegistry.MustRegister(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: datacenter reference architecture coverage",
+		Tags:  []string{"figure", "refarch", "fast"},
+		Order: 50,
+		Run:   func(seed int64) (*Report, error) { return runFig9() },
+	})
+}
+
+func runFig9() (*Report, error) {
+	reg, err := refarch.StandardRegistry()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig9", Title: "Figure 9: datacenter reference architecture coverage"}
+	cov := refarch.AnalyzeCoverage(reg)
+	rep.Rows = append(rep.Rows, fmt.Sprintf(
+		"components=%d old-architecture places %d, new architecture places %d",
+		cov.Total, cov.OldPlaceable, cov.NewPlaceable))
+	rep.Rows = append(rep.Rows, "unplaceable in old architecture: "+strings.Join(cov.Unplaceable, ", "))
+	for _, l := range refarch.Layers() {
+		var names []string
+		for _, c := range reg.ByLayer(l) {
+			names = append(names, c.Name)
+		}
+		rep.Rows = append(rep.Rows, fmt.Sprintf("layer %d %-18s %s", int(l), l.String()+":", strings.Join(names, ", ")))
+	}
+	for _, m := range refarch.IndustryMappings() {
+		if err := refarch.ValidateMapping(reg, m); err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, fmt.Sprintf("mapping %-28s %d components OK", m.Ecosystem, len(m.Components)))
+	}
+	return rep, nil
+}

@@ -1,22 +1,5 @@
 package atlarge
 
-import (
-	"fmt"
-	"math/rand"
-	"sort"
-	"strings"
-
-	"atlarge/internal/autoscale"
-	"atlarge/internal/biblio"
-	"atlarge/internal/core"
-	"atlarge/internal/faas"
-	"atlarge/internal/graphproc"
-	"atlarge/internal/mmog"
-	"atlarge/internal/p2p"
-	"atlarge/internal/portfolio"
-	"atlarge/internal/refarch"
-)
-
 // Report is the printable outcome of one reproduced paper artifact.
 type Report struct {
 	ID    string
@@ -26,333 +9,14 @@ type Report struct {
 
 // Experiments lists the reproducible artifact IDs in canonical order.
 func Experiments() []string {
-	return []string{
-		"fig1", "fig2", "fig3", "fig7", "fig9",
-		"tab5", "tab6", "tab7", "tab8", "tab9",
-		"autoscale", "bdc",
-	}
+	return DefaultRegistry().IDs()
 }
 
 // RunExperiment reproduces one paper artifact and returns its report.
 func RunExperiment(id string, seed int64) (*Report, error) {
-	switch id {
-	case "fig1":
-		return runFig1(seed)
-	case "fig2":
-		return runFig2(seed)
-	case "fig3":
-		return runFig3(seed)
-	case "fig7":
-		return runFig7(seed)
-	case "fig9":
-		return runFig9()
-	case "tab5":
-		return runTab5(seed)
-	case "tab6":
-		return runTab6(seed)
-	case "tab7":
-		return runTab7(seed)
-	case "tab8":
-		return runTab8(seed)
-	case "tab9":
-		return runTab9(seed)
-	case "autoscale":
-		return runAutoscale(seed)
-	case "bdc":
-		return runBDC(seed)
-	default:
-		return nil, fmt.Errorf("atlarge: unknown experiment %q (known: %s)", id, strings.Join(Experiments(), ", "))
-	}
-}
-
-func runFig1(seed int64) (*Report, error) {
-	cfg := biblio.DefaultCorpusConfig()
-	cfg.Seed = seed
-	corpus, err := biblio.Generate(cfg)
+	e, err := DefaultRegistry().Get(id)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "fig1", Title: "Figure 1: keyword presence in top systems venues (2013-2018)"}
-	for _, kc := range biblio.Figure1(corpus) {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-18s %6d", kc.Keyword, kc.Count))
-	}
-	return rep, nil
-}
-
-func runFig2(seed int64) (*Report, error) {
-	cfg := biblio.DefaultCorpusConfig()
-	cfg.Seed = seed
-	corpus, err := biblio.Generate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "fig2", Title: "Figure 2: design articles per venue per 5-year block since 1980"}
-	rows := biblio.Figure2(corpus)
-	byVenue := map[string][]biblio.BlockCount{}
-	var venues []string
-	for _, r := range rows {
-		if _, ok := byVenue[r.Venue]; !ok {
-			venues = append(venues, r.Venue)
-		}
-		byVenue[r.Venue] = append(byVenue[r.Venue], r)
-	}
-	trend := biblio.Figure2Trend(rows)
-	for _, v := range venues {
-		var parts []string
-		total := 0
-		for _, b := range byVenue[v] {
-			parts = append(parts, fmt.Sprintf("%d:%d", b.BlockStart, b.Designs))
-			total += b.Designs
-		}
-		mark := ""
-		if trend[v] {
-			mark = "  [post-2000 increase]"
-		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s total=%-5d %s%s", v, total, strings.Join(parts, " "), mark))
-	}
-	return rep, nil
-}
-
-func runFig3(seed int64) (*Report, error) {
-	cfg := biblio.DefaultReviewConfig()
-	cfg.Seed = seed
-	reviews, err := biblio.GenerateReviews(cfg)
-	if err != nil {
-		return nil, err
-	}
-	violins, err := biblio.Figure3(reviews)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "fig3", Title: "Figure 3: violin summaries of review scores (merit/quality/topic)"}
-	var cats []string
-	for c := range violins {
-		cats = append(cats, c)
-	}
-	sort.Strings(cats)
-	for _, c := range cats {
-		for _, aspect := range []biblio.Aspect{biblio.AspectMerit, biblio.AspectQuality, biblio.AspectTopic} {
-			v := violins[c][aspect]
-			rep.Rows = append(rep.Rows, fmt.Sprintf(
-				"%-22s %-8s n=%-4d mean=%.2f median=%.1f IQR=[%.1f,%.1f] whiskers=[%.1f,%.1f]",
-				c, aspect, v.N, v.Mean, v.Median, v.Q1, v.Q3, v.WhiskerLo, v.WhiskerHi))
-		}
-	}
-	f := biblio.AnalyzeFigure3(reviews, violins)
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"findings: design merit mean %.2f vs non-design %.2f; %.0f%% of design subs score <3; topic median %.1f",
-		f.DesignMeritMean, f.NonDesignMeritMean, f.DesignBelow3Pct, f.TopicMedian))
-	return rep, nil
-}
-
-func runFig7(seed int64) (*Report, error) {
-	res, err := RunFigure7(6, 2, 0.06, 600, seed)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "fig7", Title: "Figures 6-7: design-space exploration processes"}
-	var names []string
-	for n := range res.Outcomes {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		o := res.Outcomes[n]
-		rep.Rows = append(rep.Rows, fmt.Sprintf(
-			"%-14s attempts=%-4d solutions=%-3d failures=%-4d hit-rate=%.3f",
-			n, o.Attempts, o.Solutions, o.Failures, o.HitRate))
-	}
-	co := res.CoEvolving
-	h1, h2 := 0.0, 0.0
-	if co.Phase1.Attempts > 0 {
-		h1 = float64(co.Phase1.Solutions) / float64(co.Phase1.Attempts)
-	}
-	if co.Phase2.Attempts > 0 {
-		h2 = float64(co.Phase2.Solutions) / float64(co.Phase2.Attempts)
-	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"co-evolving phases: problem-1 hit-rate %.3f -> after evolution %.3f (evolved=%v)",
-		h1, h2, co.Evolved))
-	return rep, nil
-}
-
-func runFig9() (*Report, error) {
-	reg, err := refarch.StandardRegistry()
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "fig9", Title: "Figure 9: datacenter reference architecture coverage"}
-	cov := refarch.AnalyzeCoverage(reg)
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"components=%d old-architecture places %d, new architecture places %d",
-		cov.Total, cov.OldPlaceable, cov.NewPlaceable))
-	rep.Rows = append(rep.Rows, "unplaceable in old architecture: "+strings.Join(cov.Unplaceable, ", "))
-	for _, l := range refarch.Layers() {
-		var names []string
-		for _, c := range reg.ByLayer(l) {
-			names = append(names, c.Name)
-		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("layer %d %-18s %s", int(l), l.String()+":", strings.Join(names, ", ")))
-	}
-	for _, m := range refarch.IndustryMappings() {
-		if err := refarch.ValidateMapping(reg, m); err != nil {
-			return nil, err
-		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("mapping %-28s %d components OK", m.Ecosystem, len(m.Components)))
-	}
-	return rep, nil
-}
-
-func runTab5(seed int64) (*Report, error) {
-	rows, err := p2p.RunTable5(seed)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "tab5", Title: "Table 5: co-evolving problem-solutions in P2P"}
-	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-18s %-22s %s", r.Study, r.Feature, r.Finding))
-	}
-	return rep, nil
-}
-
-func runTab6(seed int64) (*Report, error) {
-	rows := mmog.RunTable6(seed)
-	rep := &Report{ID: "tab6", Title: "Table 6: co-evolving problem-solutions in MMOG"}
-	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %-28s %s", r.Study, r.Feature, r.Finding))
-	}
-	return rep, nil
-}
-
-func runTab7(seed int64) (*Report, error) {
-	rows, err := faas.RunTable7(seed)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "tab7", Title: "Table 7: co-evolving problem-solutions in serverless"}
-	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-22s %-26s %s", r.Study, r.Feature, r.Finding))
-	}
-	return rep, nil
-}
-
-func runTab8(seed int64) (*Report, error) {
-	cfg := graphproc.DefaultBenchmarkConfig()
-	cfg.Seed = seed
-	res, err := graphproc.RunBenchmark(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "tab8", Title: "Table 8: the Graphalytics ecosystem and the PAD/HPAD laws"}
-	pad, err := graphproc.AnalyzePAD(res)
-	if err != nil {
-		return nil, err
-	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"PAD law: %d distinct winning platforms; variance split platform=%.2f workload=%.2f interaction=%.2f",
-		pad.DistinctWinners, pad.PlatformFrac, pad.WorkloadFrac, pad.InteractionFrac))
-	var cols []string
-	for c := range pad.WinnerByColumn {
-		cols = append(cols, c)
-	}
-	sort.Strings(cols)
-	for _, c := range cols {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("winner %-18s %s", c, pad.WinnerByColumn[c]))
-	}
-	hpad, err := graphproc.AnalyzeHPAD(res, cfg.Engines)
-	if err != nil {
-		return nil, err
-	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"HPAD: winners without H=%d, with H=%d; heterogeneous platform wins %d columns",
-		hpad.WinnersWithoutH, hpad.WinnersWithH, hpad.HWinsColumns))
-	return rep, nil
-}
-
-func runTab9(seed int64) (*Report, error) {
-	cfg := portfolio.DefaultTable9Config()
-	cfg.Seed = seed
-	rows, err := portfolio.RunTable9(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "tab9", Title: "Table 9: portfolio scheduling across workloads and environments"}
-	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf(
-			"%-22s W=%-8s Env=%-5s PS=%.2f best=%.2f(%s) worst=%.2f(%s) regret=%+.1f%% -> %s | next: %s",
-			r.Study, r.Workload, r.Environment, r.Portfolio,
-			r.BestStatic, r.BestPolicy, r.WorstStatic, r.WorstPolicy,
-			100*r.SelectionRegret, r.Finding, r.NewQuestion))
-	}
-	return rep, nil
-}
-
-func runAutoscale(seed int64) (*Report, error) {
-	cfg := autoscale.DefaultExperimentConfig()
-	cfg.Seed = seed
-	res, err := autoscale.RunExperiment(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "autoscale", Title: "§6.7: autoscaling experiments (in-vitro + in-silico)"}
-	var names []string
-	for n := range res.Vitro {
-		names = append(names, n)
-	}
-	sort.Slice(names, func(i, j int) bool { return res.AvgRankVitro[names[i]] < res.AvgRankVitro[names[j]] })
-	for _, n := range names {
-		m := res.Vitro[n]
-		rep.Rows = append(rep.Rows, fmt.Sprintf(
-			"%-8s rank=%.1f grade=%.2f accU=%.3f accO=%.3f tU=%.2f tO=%.2f resp=%.0fs slowdown=%.2f cost/h=$%.2f miss=%.0f%%",
-			n, res.AvgRankVitro[n], res.GradesVitro[n],
-			m.AccuracyUnder, m.AccuracyOver, m.TimeshareUnder, m.TimeshareOver,
-			m.MeanResponse, m.MeanSlowdown, res.CostByModel["per-hour"][n], m.DeadlineMissPct))
-	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"in-vitro vs in-silico rank correlation (Spearman) = %.2f (corroborating but not identical)",
-		res.RankCorrelation))
-	return rep, nil
-}
-
-func runBDC(seed int64) (*Report, error) {
-	if err := core.ValidateCatalog(); err != nil {
-		return nil, err
-	}
-	rep := &Report{ID: "bdc", Title: "Tables 1-3 + Figure 8: framework catalog and BDC mechanics"}
-	for _, p := range core.Principles() {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("P%d (%s): %s", p.Index, p.Category, p.Text))
-	}
-	for _, c := range core.Challenges() {
-		ps := make([]string, len(c.Principles))
-		for i, pi := range c.Principles {
-			ps[i] = fmt.Sprintf("P%d", pi)
-		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("C%d (%s): %s [%s]", c.Index, c.Category, c.Key, strings.Join(ps, ",")))
-	}
-	// Run a demonstration BDC: a noisy design search that satisfices.
-	r := rand.New(rand.NewSource(seed))
-	cy := &core.Cycle{
-		Name: "demo",
-		Stages: map[core.Stage]core.StageFunc{
-			core.StageDesign: func(ctx *core.Context) error {
-				score := r.Float64()
-				ctx.AddSolution(core.Artifact{Name: "candidate", Score: score, Satisficing: score > 0.8})
-				return nil
-			},
-		},
-		Stop: core.StoppingCriteria{SatisficeAfter: 1, MaxIterations: 100},
-	}
-	tr, err := cy.Run(nil)
-	if err != nil {
-		return nil, err
-	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"demo BDC: stop=%s after %d iterations, %d solutions, %d failures",
-		tr.Stop, len(tr.Iterations), len(tr.Solutions), tr.Failures))
-	// Figure 4: the pre-training student design under the review rubric.
-	student := core.Figure4StudentDesign()
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"Figure 4 student design: score %.2f -> %s; missing: %s",
-		student.Score(), student.Assess(), strings.Join(student.Missing(0.5), ", ")))
-	return rep, nil
+	return e.Run(seed)
 }

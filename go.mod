@@ -1,0 +1,3 @@
+module atlarge
+
+go 1.24

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"atlarge/internal/cluster"
 	"atlarge/internal/sched"
@@ -73,17 +74,28 @@ type Exhaustive struct{}
 // Name implements Selector.
 func (Exhaustive) Name() string { return "exhaustive" }
 
-// Select implements Selector.
+// Select implements Selector. The candidate simulations are independent
+// (each gets a fresh environment and an estimate-clone of the window), so
+// they run concurrently; the argmin keeps the sequential tie-break (lowest
+// portfolio index wins).
 func (Exhaustive) Select(window *workload.Trace, envFactory func() *cluster.Environment, policies []sched.Policy, seed int64) (sched.Policy, int) {
-	best := policies[0]
-	bestScore := math.Inf(1)
-	for _, p := range policies {
-		if s := simulateScore(window, envFactory, p, seed); s < bestScore {
-			bestScore = s
-			best = p
+	scores := make([]float64, len(policies))
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		wg.Add(1)
+		go func(i int, p sched.Policy) {
+			defer wg.Done()
+			scores[i] = simulateScore(window, envFactory, p, seed)
+		}(i, p)
+	}
+	wg.Wait()
+	best := 0
+	for i := range policies {
+		if scores[i] < scores[best] {
+			best = i
 		}
 	}
-	return best, len(policies)
+	return policies[best], len(policies)
 }
 
 // Observe implements Selector (exhaustive selection needs no feedback).

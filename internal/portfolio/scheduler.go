@@ -2,6 +2,7 @@ package portfolio
 
 import (
 	"fmt"
+	"sync"
 
 	"atlarge/internal/cluster"
 	"atlarge/internal/sched"
@@ -92,29 +93,45 @@ func (s *Scheduler) Run(tr *workload.Trace) (*Result, error) {
 // StaticBaselines runs every individual policy over the same windowed
 // execution (same window boundaries, same seeds) and returns the mean
 // slowdown per policy. This isolates the value of *selection* from the value
-// of any single policy.
+// of any single policy. The per-policy runs touch disjoint simulator state,
+// so each policy is simulated on its own goroutine.
 func (s *Scheduler) StaticBaselines(tr *workload.Trace) (map[string]float64, error) {
 	sorted := &workload.Trace{Name: tr.Name, Jobs: append([]*workload.Job(nil), tr.Jobs...)}
 	sorted.SortBySubmit()
+	means := make([]float64, len(s.Policies))
+	errs := make([]error, len(s.Policies))
+	var wg sync.WaitGroup
+	for i, p := range s.Policies {
+		wg.Add(1)
+		go func(i int, p sched.Policy) {
+			defer wg.Done()
+			var all []float64
+			for w := 0; w*s.WindowSize < len(sorted.Jobs); w++ {
+				lo := w * s.WindowSize
+				hi := lo + s.WindowSize
+				if hi > len(sorted.Jobs) {
+					hi = len(sorted.Jobs)
+				}
+				window := &workload.Trace{Jobs: sorted.Jobs[lo:hi]}
+				res, err := sched.NewSimulator(s.EnvFactory(), window, p, s.Seed+int64(w)).Run()
+				if err != nil {
+					errs[i] = fmt.Errorf("portfolio: baseline %s window %d: %w", p.Name(), w, err)
+					return
+				}
+				for _, js := range res.Jobs {
+					all = append(all, js.Slowdown)
+				}
+			}
+			means[i] = stats.Mean(all)
+		}(i, p)
+	}
+	wg.Wait()
 	out := make(map[string]float64, len(s.Policies))
-	for _, p := range s.Policies {
-		var all []float64
-		for w := 0; w*s.WindowSize < len(sorted.Jobs); w++ {
-			lo := w * s.WindowSize
-			hi := lo + s.WindowSize
-			if hi > len(sorted.Jobs) {
-				hi = len(sorted.Jobs)
-			}
-			window := &workload.Trace{Jobs: sorted.Jobs[lo:hi]}
-			res, err := sched.NewSimulator(s.EnvFactory(), window, p, s.Seed+int64(w)).Run()
-			if err != nil {
-				return nil, fmt.Errorf("portfolio: baseline %s window %d: %w", p.Name(), w, err)
-			}
-			for _, js := range res.Jobs {
-				all = append(all, js.Slowdown)
-			}
+	for i, p := range s.Policies {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out[p.Name()] = stats.Mean(all)
+		out[p.Name()] = means[i]
 	}
 	return out, nil
 }

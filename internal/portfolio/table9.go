@@ -3,6 +3,8 @@ package portfolio
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"atlarge/internal/cluster"
 	"atlarge/internal/sched"
@@ -111,6 +113,10 @@ type Table9Config struct {
 	// environments so policies differentiate.
 	LoadFactor float64
 	Seed       int64
+	// Workers bounds the number of study rows simulated concurrently;
+	// <= 0 means GOMAXPROCS. Every row derives its own seed, so the
+	// result is identical for any worker count.
+	Workers int
 }
 
 // DefaultTable9Config returns the scale used by the benchmarks.
@@ -120,51 +126,85 @@ func DefaultTable9Config() Table9Config {
 
 // RunTable9 reproduces the seven rows of Table 9: for each study row it runs
 // the portfolio scheduler against all static baselines and derives the
-// "PS is useful" verdict.
+// "PS is useful" verdict. Rows are independent simulations with per-row
+// seeds, so they execute on a bounded worker pool; results keep the spec
+// order regardless of scheduling.
 func RunTable9(cfg Table9Config) ([]Table9Row, error) {
-	var rows []Table9Row
-	for i, spec := range table9Specs() {
-		r := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-		jobsPerClass := cfg.JobsPerRow / len(spec.classes)
-		tr := mixedTrace(spec.classes, jobsPerClass, r)
-		if cfg.LoadFactor > 1 {
-			for _, j := range tr.Jobs {
-				j.Submit /= sim.Time(cfg.LoadFactor)
+	specs := table9Specs()
+	rows := make([]Table9Row, len(specs))
+	errs := make([]error, len(specs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i], errs[i] = runTable9Row(cfg, specs[i], i)
 			}
-		}
-
-		envFactory := func() *cluster.Environment { return compositeEnv(spec.envKinds) }
-		s := &Scheduler{
-			Policies:   sched.DefaultPortfolio(),
-			Selector:   Exhaustive{},
-			WindowSize: cfg.WindowSize,
-			EnvFactory: envFactory,
-			Seed:       cfg.Seed + int64(i),
-		}
-		res, err := s.Run(tr)
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("portfolio: row %s: %w", spec.study, err)
+			return nil, err
 		}
-		baselines, err := s.StaticBaselines(tr)
-		if err != nil {
-			return nil, fmt.Errorf("portfolio: row %s baselines: %w", spec.study, err)
-		}
-
-		row := Table9Row{
-			Study:       spec.study,
-			Workload:    classesLabel(spec.classes),
-			Environment: kindsLabel(spec.envKinds),
-			Portfolio:   res.MeanSlowdown,
-			NewQuestion: spec.newQuestion,
-		}
-		row.BestStatic, row.WorstStatic = bestWorst(baselines, &row.BestPolicy, &row.WorstPolicy)
-		if row.BestStatic > 0 {
-			row.SelectionRegret = row.Portfolio/row.BestStatic - 1
-		}
-		row.Finding = verdict(row)
-		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// runTable9Row simulates one study row with its derived seed.
+func runTable9Row(cfg Table9Config, spec table9Spec, i int) (Table9Row, error) {
+	r := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+	jobsPerClass := cfg.JobsPerRow / len(spec.classes)
+	tr := mixedTrace(spec.classes, jobsPerClass, r)
+	if cfg.LoadFactor > 1 {
+		for _, j := range tr.Jobs {
+			j.Submit /= sim.Time(cfg.LoadFactor)
+		}
+	}
+
+	envFactory := func() *cluster.Environment { return compositeEnv(spec.envKinds) }
+	s := &Scheduler{
+		Policies:   sched.DefaultPortfolio(),
+		Selector:   Exhaustive{},
+		WindowSize: cfg.WindowSize,
+		EnvFactory: envFactory,
+		Seed:       cfg.Seed + int64(i),
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		return Table9Row{}, fmt.Errorf("portfolio: row %s: %w", spec.study, err)
+	}
+	baselines, err := s.StaticBaselines(tr)
+	if err != nil {
+		return Table9Row{}, fmt.Errorf("portfolio: row %s baselines: %w", spec.study, err)
+	}
+
+	row := Table9Row{
+		Study:       spec.study,
+		Workload:    classesLabel(spec.classes),
+		Environment: kindsLabel(spec.envKinds),
+		Portfolio:   res.MeanSlowdown,
+		NewQuestion: spec.newQuestion,
+	}
+	row.BestStatic, row.WorstStatic = bestWorst(baselines, s.Policies, &row.BestPolicy, &row.WorstPolicy)
+	if row.BestStatic > 0 {
+		row.SelectionRegret = row.Portfolio/row.BestStatic - 1
+	}
+	row.Finding = verdict(row)
+	return row, nil
 }
 
 func classesLabel(cs []workload.Class) string {
@@ -189,9 +229,17 @@ func kindsLabel(ks []cluster.Kind) string {
 	return s
 }
 
-func bestWorst(baselines map[string]float64, bestName, worstName *string) (best, worst float64) {
+// bestWorst scans baselines in portfolio order so ties resolve to the
+// first-listed policy; iterating the map directly would make tied rows
+// nondeterministic across runs.
+func bestWorst(baselines map[string]float64, order []sched.Policy, bestName, worstName *string) (best, worst float64) {
 	first := true
-	for name, v := range baselines {
+	for _, p := range order {
+		name := p.Name()
+		v, ok := baselines[name]
+		if !ok {
+			continue
+		}
 		if first {
 			best, worst = v, v
 			*bestName, *worstName = name, name

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"atlarge/internal/cluster"
+	"atlarge/internal/sched"
 	"atlarge/internal/workload"
 )
 
@@ -20,8 +21,9 @@ func TestLabels(t *testing.T) {
 }
 
 func TestBestWorst(t *testing.T) {
+	order := []sched.Policy{namedPolicy("a"), namedPolicy("b"), namedPolicy("c")}
 	var bestName, worstName string
-	best, worst := bestWorst(map[string]float64{"a": 2, "b": 1, "c": 3}, &bestName, &worstName)
+	best, worst := bestWorst(map[string]float64{"a": 2, "b": 1, "c": 3}, order, &bestName, &worstName)
 	if best != 1 || bestName != "b" {
 		t.Errorf("best = %v (%s)", best, bestName)
 	}
@@ -29,6 +31,29 @@ func TestBestWorst(t *testing.T) {
 		t.Errorf("worst = %v (%s)", worst, worstName)
 	}
 }
+
+// TestBestWorstTieBreak pins the deterministic tie-break: ties resolve to the
+// first policy in portfolio order, not to map iteration order.
+func TestBestWorstTieBreak(t *testing.T) {
+	order := []sched.Policy{namedPolicy("x"), namedPolicy("y"), namedPolicy("z")}
+	for i := 0; i < 20; i++ {
+		var bestName, worstName string
+		bestWorst(map[string]float64{"x": 1, "y": 1, "z": 1}, order, &bestName, &worstName)
+		if bestName != "x" || worstName != "x" {
+			t.Fatalf("tied best/worst = %s/%s, want x/x", bestName, worstName)
+		}
+	}
+}
+
+// namedPolicy is a minimal policy stub for ordering tests.
+type namedPolicy string
+
+func (p namedPolicy) Name() string                             { return string(p) }
+func (p namedPolicy) Order(*sched.Context, []*sched.TaskState) {}
+func (p namedPolicy) AllowSkip() bool                          { return false }
+func (p namedPolicy) EasyReservation() bool                    { return false }
+func (p namedPolicy) StaticOrder() bool                        { return true }
+func (p namedPolicy) PureOrder() bool                          { return true }
 
 func TestVerdictBands(t *testing.T) {
 	tests := []struct {
@@ -42,6 +67,31 @@ func TestVerdictBands(t *testing.T) {
 	for _, tt := range tests {
 		if got := verdict(tt.row); got != tt.want {
 			t.Errorf("verdict(%+v) = %q, want %q", tt.row, got, tt.want)
+		}
+	}
+}
+
+// TestRunTable9WorkersDeterministic pins the row-pool guarantee: any worker
+// count yields identical rows for the same config (per-row derived seeds,
+// order-indexed collection).
+func TestRunTable9WorkersDeterministic(t *testing.T) {
+	cfg := Table9Config{JobsPerRow: 21, WindowSize: 7, LoadFactor: 10, Seed: 3}
+	cfg.Workers = 1
+	seq, err := RunTable9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunTable9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d differs:\n  seq %+v\n  par %+v", i, seq[i], par[i])
 		}
 	}
 }

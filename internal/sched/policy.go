@@ -6,8 +6,9 @@
 package sched
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"atlarge/internal/sim"
 	"atlarge/internal/workload"
@@ -23,6 +24,11 @@ type TaskState struct {
 	Started  bool
 	StartAt  sim.Time
 	FinishAt sim.Time
+
+	// fairKey caches the job's served work for the duration of one
+	// FairShare sort, so the comparator does not hit the map O(n log n)
+	// times.
+	fairKey float64
 }
 
 // Context carries the scheduler state that ordering policies may consult.
@@ -48,57 +54,73 @@ type Policy interface {
 	// by EASY semantics: a backfilled task must not delay the estimated
 	// start of the queue head.
 	EasyReservation() bool
+	// StaticOrder reports whether Order is a pure sort on per-task keys
+	// fixed at enqueue time. The simulator then knows an already-ordered
+	// queue stays ordered until new tasks arrive and may skip redundant
+	// sorts. Policies whose keys drift over time (fair share) or whose
+	// ordering has side effects (random shuffle) must return false.
+	StaticOrder() bool
+	// PureOrder reports whether Order leaves every externally visible
+	// state (RNG streams, context) untouched, so a scheduling cycle that
+	// provably places nothing may skip ordering altogether. Only
+	// randomized policies, which consume the deterministic policy RNG
+	// when they shuffle, must return false.
+	PureOrder() bool
 }
 
 // basePolicy provides the common AllowSkip/EasyReservation plumbing.
 type basePolicy struct {
-	name  string
-	skip  bool
-	easy  bool
-	order func(ctx *Context, q []*TaskState)
+	name   string
+	skip   bool
+	easy   bool
+	static bool
+	random bool // consumes the policy RNG when ordering
+	order  func(ctx *Context, q []*TaskState)
 }
 
 func (p basePolicy) Name() string                       { return p.name }
 func (p basePolicy) AllowSkip() bool                    { return p.skip }
 func (p basePolicy) EasyReservation() bool              { return p.easy }
+func (p basePolicy) StaticOrder() bool                  { return p.static }
+func (p basePolicy) PureOrder() bool                    { return !p.random }
 func (p basePolicy) Order(ctx *Context, q []*TaskState) { p.order(ctx, q) }
 
 // byReady orders by eligibility time then job then task ID, the FCFS order.
 func byReady(_ *Context, q []*TaskState) {
-	sort.SliceStable(q, func(i, j int) bool {
-		if q[i].Ready != q[j].Ready {
-			return q[i].Ready < q[j].Ready
+	slices.SortStableFunc(q, func(a, b *TaskState) int {
+		if c := cmp.Compare(a.Ready, b.Ready); c != 0 {
+			return c
 		}
-		if q[i].Job.ID != q[j].Job.ID {
-			return q[i].Job.ID < q[j].Job.ID
+		if c := cmp.Compare(a.Job.ID, b.Job.ID); c != 0 {
+			return c
 		}
-		return q[i].Task.ID < q[j].Task.ID
+		return cmp.Compare(a.Task.ID, b.Task.ID)
 	})
 }
 
 // FCFS is strict first-come-first-served: the queue head blocks everything
 // behind it.
-func FCFS() Policy { return basePolicy{name: "FCFS", order: byReady} }
+func FCFS() Policy { return basePolicy{name: "FCFS", static: true, order: byReady} }
 
 // GreedyBackfill is FCFS order with unrestricted skipping: any task that fits
 // runs, which maximizes utilization but can starve wide tasks.
 func GreedyBackfill() Policy {
-	return basePolicy{name: "GreedyBF", skip: true, order: byReady}
+	return basePolicy{name: "GreedyBF", skip: true, static: true, order: byReady}
 }
 
 // EASYBackfill is FCFS with conservative (EASY) backfilling: tasks may jump
 // the queue only when their estimated finish does not delay the reservation
 // of the queue head.
 func EASYBackfill() Policy {
-	return basePolicy{name: "EASY-BF", skip: true, easy: true, order: byReady}
+	return basePolicy{name: "EASY-BF", skip: true, easy: true, static: true, order: byReady}
 }
 
 // SJF dispatches the task with the shortest estimated runtime first
 // (shortest-job-first), with skipping.
 func SJF() Policy {
-	return basePolicy{name: "SJF", skip: true, order: func(_ *Context, q []*TaskState) {
-		sort.SliceStable(q, func(i, j int) bool {
-			return q[i].Task.RuntimeEstimate < q[j].Task.RuntimeEstimate
+	return basePolicy{name: "SJF", skip: true, static: true, order: func(_ *Context, q []*TaskState) {
+		slices.SortStableFunc(q, func(a, b *TaskState) int {
+			return cmp.Compare(a.Task.RuntimeEstimate, b.Task.RuntimeEstimate)
 		})
 	}}
 }
@@ -106,9 +128,9 @@ func SJF() Policy {
 // LJF dispatches the task with the longest estimated runtime first, with
 // skipping. It approximates reservation-style policies that favor large work.
 func LJF() Policy {
-	return basePolicy{name: "LJF", skip: true, order: func(_ *Context, q []*TaskState) {
-		sort.SliceStable(q, func(i, j int) bool {
-			return q[i].Task.RuntimeEstimate > q[j].Task.RuntimeEstimate
+	return basePolicy{name: "LJF", skip: true, static: true, order: func(_ *Context, q []*TaskState) {
+		slices.SortStableFunc(q, func(a, b *TaskState) int {
+			return cmp.Compare(b.Task.RuntimeEstimate, a.Task.RuntimeEstimate)
 		})
 	}}
 }
@@ -116,12 +138,12 @@ func LJF() Policy {
 // WFP orders by the widest task first (most CPUs), breaking ties by age; it
 // approximates the WFP3 class of slowdown-aware policies.
 func WFP() Policy {
-	return basePolicy{name: "WFP", skip: true, order: func(_ *Context, q []*TaskState) {
-		sort.SliceStable(q, func(i, j int) bool {
-			if q[i].Task.CPUs != q[j].Task.CPUs {
-				return q[i].Task.CPUs > q[j].Task.CPUs
+	return basePolicy{name: "WFP", skip: true, static: true, order: func(_ *Context, q []*TaskState) {
+		slices.SortStableFunc(q, func(a, b *TaskState) int {
+			if c := cmp.Compare(b.Task.CPUs, a.Task.CPUs); c != 0 {
+				return c
 			}
-			return q[i].Ready < q[j].Ready
+			return cmp.Compare(a.Ready, b.Ready)
 		})
 	}}
 }
@@ -130,20 +152,21 @@ func WFP() Policy {
 // equalizing service across jobs.
 func FairShare() Policy {
 	return basePolicy{name: "FairShare", skip: true, order: func(ctx *Context, q []*TaskState) {
-		sort.SliceStable(q, func(i, j int) bool {
-			wi := ctx.ServedWork[q[i].Job.ID]
-			wj := ctx.ServedWork[q[j].Job.ID]
-			if wi != wj {
-				return wi < wj
+		for _, st := range q {
+			st.fairKey = ctx.ServedWork[st.Job.ID]
+		}
+		slices.SortStableFunc(q, func(a, b *TaskState) int {
+			if c := cmp.Compare(a.fairKey, b.fairKey); c != 0 {
+				return c
 			}
-			return q[i].Ready < q[j].Ready
+			return cmp.Compare(a.Ready, b.Ready)
 		})
 	}}
 }
 
 // RandomOrder shuffles the queue; the baseline "no intelligence" policy.
 func RandomOrder() Policy {
-	return basePolicy{name: "Random", skip: true, order: func(ctx *Context, q []*TaskState) {
+	return basePolicy{name: "Random", skip: true, random: true, order: func(ctx *Context, q []*TaskState) {
 		ctx.Rand.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
 	}}
 }

@@ -60,6 +60,20 @@ type Simulator struct {
 	states      map[int]*TaskState             // task ID -> state
 	estFinish   map[*cluster.Machine][]estSlot // for EASY reservations
 
+	// Flattened machine list (with the owning cluster per slot), built once
+	// per run so placement does not walk the cluster nesting every probe.
+	machines     []*cluster.Machine
+	machClusters []*cluster.Cluster
+	scratch      []*TaskState // reused queue buffer for dispatch
+
+	// queueDirty is set when tasks are appended to the queue; a clean queue
+	// under a StaticOrder policy is already sorted (placement removals keep
+	// relative order), so the per-cycle sort can be skipped.
+	queueDirty bool
+	// minWidth is the narrowest CPU request in the queue (a lower bound is
+	// enough): when even that cannot be placed the whole cycle is a no-op.
+	minWidth int
+
 	dispatchPending bool
 }
 
@@ -85,6 +99,15 @@ func (s *Simulator) Run() (*Result, error) {
 	s.states = make(map[int]*TaskState)
 	s.estFinish = make(map[*cluster.Machine][]estSlot)
 	s.ctx = &Context{ServedWork: make(map[int]float64), Rand: s.k.Rand("policy")}
+	s.minWidth = math.MaxInt
+	s.machines = s.machines[:0]
+	s.machClusters = s.machClusters[:0]
+	for _, cl := range s.env.Clusters {
+		for _, m := range cl.Machines {
+			s.machines = append(s.machines, m)
+			s.machClusters = append(s.machClusters, cl)
+		}
+	}
 
 	for _, job := range s.trace.Jobs {
 		if err := job.ValidateDAG(); err != nil {
@@ -106,7 +129,7 @@ func (s *Simulator) onJobArrive(job *workload.Job) {
 		st := &TaskState{Job: job, Task: t, Ready: s.k.Now()}
 		s.states[t.ID] = st
 		if len(t.Deps) == 0 {
-			s.queue = append(s.queue, st)
+			s.enqueue(st)
 		} else {
 			s.pendingDeps[t.ID] = len(t.Deps)
 			for _, d := range t.Deps {
@@ -115,6 +138,15 @@ func (s *Simulator) onJobArrive(job *workload.Job) {
 		}
 	}
 	s.scheduleDispatch()
+}
+
+// enqueue appends a ready task and maintains the queue bookkeeping.
+func (s *Simulator) enqueue(st *TaskState) {
+	s.queue = append(s.queue, st)
+	s.queueDirty = true
+	if st.Task.CPUs < s.minWidth {
+		s.minWidth = st.Task.CPUs
+	}
 }
 
 // scheduleDispatch coalesces dispatch into a single zero-delay event, so all
@@ -138,19 +170,50 @@ func (s *Simulator) dispatch() {
 		return
 	}
 	s.ctx.Now = s.k.Now()
-	s.policy.Order(s.ctx, s.queue)
+	if s.policy.PureOrder() {
+		// Saturation shortcut: when even the narrowest queued request
+		// cannot fit anywhere, the cycle places nothing, and a pure
+		// ordering can be deferred to the next cycle that matters.
+		maxFree := 0
+		for _, m := range s.machines {
+			if f := m.Free(); f > maxFree {
+				maxFree = f
+			}
+		}
+		if maxFree < s.minWidth {
+			s.recordUtilization()
+			return
+		}
+	}
+	if s.queueDirty || !s.policy.StaticOrder() {
+		s.policy.Order(s.ctx, s.queue)
+		s.queueDirty = false
+	}
 
 	var headReservation sim.Time
 	headSeen := false
-	var remaining []*TaskState
+	remaining := s.scratch[:0]
 	blocked := false
-	for _, st := range s.queue {
+	// Within one dispatch cycle free capacity never grows (placements claim
+	// cores; the EASY revert below returns exactly what it just claimed), so
+	// once a placement for some width fails, every later task at least as
+	// wide must fail too. Tracking the narrowest failed width makes probes
+	// for a saturated environment O(1) instead of a full machine scan.
+	minFailed := math.MaxInt
+	for qi, st := range s.queue {
 		if blocked {
-			remaining = append(remaining, st)
-			continue
+			remaining = append(remaining, s.queue[qi:]...)
+			break
 		}
-		m, cl := s.place(st.Task.CPUs)
+		var m *cluster.Machine
+		var cl *cluster.Cluster
+		if st.Task.CPUs < minFailed {
+			m, cl = s.place(st.Task.CPUs)
+		}
 		if m == nil {
+			if st.Task.CPUs < minFailed {
+				minFailed = st.Task.CPUs
+			}
 			remaining = append(remaining, st)
 			if !s.policy.AllowSkip() {
 				blocked = true
@@ -174,20 +237,25 @@ func (s *Simulator) dispatch() {
 		}
 		s.start(st, m, cl)
 	}
+	s.minWidth = math.MaxInt
+	for _, st := range remaining {
+		if st.Task.CPUs < s.minWidth {
+			s.minWidth = st.Task.CPUs
+		}
+	}
+	s.scratch = s.queue // recycle the old backing array next cycle
 	s.queue = remaining
 	s.recordUtilization()
 }
 
 // place finds a machine with cpus free slots, preferring earlier clusters.
 func (s *Simulator) place(cpus int) (*cluster.Machine, *cluster.Cluster) {
-	for _, cl := range s.env.Clusters {
-		for _, m := range cl.Machines {
-			if m.Free() >= cpus {
-				if err := m.Claim(cpus); err != nil {
-					panic(err)
-				}
-				return m, cl
+	for i, m := range s.machines {
+		if m.Free() >= cpus {
+			if err := m.Claim(cpus); err != nil {
+				panic(err)
 			}
+			return m, s.machClusters[i]
 		}
 	}
 	return nil, nil
@@ -263,7 +331,7 @@ func (s *Simulator) onTaskFinish(st *TaskState, m *cluster.Machine) {
 		s.pendingDeps[dep.Task.ID]--
 		if s.pendingDeps[dep.Task.ID] == 0 {
 			dep.Ready = s.k.Now()
-			s.queue = append(s.queue, dep)
+			s.enqueue(dep)
 		}
 	}
 	delete(s.dependents, st.Task.ID)

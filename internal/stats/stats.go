@@ -47,6 +47,16 @@ func Variance(xs []float64) float64 {
 // StdDev returns the sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// HalfWidth95 returns the half-width of a normal-approximation 95%
+// confidence interval for the mean of xs, or 0 for fewer than two
+// observations.
+func HalfWidth95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
 // Min returns the minimum, or +Inf for empty input.
 func Min(xs []float64) float64 {
 	m := math.Inf(1)

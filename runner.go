@@ -1,0 +1,269 @@
+package atlarge
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"atlarge/internal/stats"
+)
+
+// Runner executes registered experiments across a bounded worker pool.
+//
+// Every (experiment, replica) pair derives its own seed from the base seed,
+// and results are collected positionally, so the output is identical for any
+// parallelism level — running with Parallelism 8 and Parallelism 1 must and
+// does produce byte-identical reports.
+type Runner struct {
+	// Registry supplies the experiments; nil means DefaultRegistry().
+	Registry *Registry
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Replicas runs each experiment this many times under distinct derived
+	// seeds and aggregates numeric outputs (mean and 95% confidence
+	// interval); <= 0 means 1.
+	Replicas int
+}
+
+// Result is the outcome of one experiment under the Runner.
+type Result struct {
+	ID    string
+	Title string
+	// Seed is the derived base seed of replica 0.
+	Seed int64
+	// Report is the replica-0 report (the canonical single-run output).
+	Report *Report
+	// Reports holds every replica's report, replica index order.
+	Reports []*Report
+	// Aggregate holds the replica-0 row skeletons with every numeric field
+	// that varies across replicas replaced by "mean±hw" (95% CI half-width,
+	// normal approximation, via internal/stats). Empty when Replicas == 1
+	// or when the rows do not align across replicas.
+	Aggregate []string
+	// Err is the first error any replica produced, nil on success.
+	Err error
+	// Elapsed sums the run time of all replicas of this experiment.
+	Elapsed time.Duration
+}
+
+// DeriveSeed maps (base seed, experiment ID, replica) to the seed an
+// experiment replica runs under. The derivation is an FNV-1a hash of the ID
+// finalized with a splitmix64 mix, so experiments are decorrelated from each
+// other and replicas from one another, yet every run with the same inputs
+// sees the same seed regardless of execution order.
+func DeriveSeed(base int64, id string, replica int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	h ^= uint64(base)
+	h += uint64(replica) * 0x9e3779b97f4a7c15
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// RunAll executes every registered experiment in catalog order.
+func (r *Runner) RunAll(baseSeed int64) ([]Result, error) {
+	return r.Run(r.registry().IDs(), baseSeed)
+}
+
+// Run executes the given experiments. Unknown IDs fail the whole call with
+// the canonical unknown-experiment error before anything runs. Individual
+// experiment failures are reported per Result (and joined into the returned
+// error) without aborting the other experiments.
+func (r *Runner) Run(ids []string, baseSeed int64) ([]Result, error) {
+	reg := r.registry()
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := reg.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+	replicas := r.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := len(exps) * replicas; workers > n {
+		workers = n
+	}
+
+	reports := make([][]*Report, len(exps))
+	errs := make([][]error, len(exps))
+	elapsed := make([][]time.Duration, len(exps))
+	for i := range exps {
+		reports[i] = make([]*Report, replicas)
+		errs[i] = make([]error, replicas)
+		elapsed[i] = make([]time.Duration, replicas)
+	}
+
+	type job struct{ exp, rep int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				start := time.Now()
+				rep, err := exps[j.exp].Run(DeriveSeed(baseSeed, exps[j.exp].ID, j.rep))
+				elapsed[j.exp][j.rep] = time.Since(start)
+				reports[j.exp][j.rep] = rep
+				errs[j.exp][j.rep] = err
+			}
+		}()
+	}
+	for i := range exps {
+		for k := 0; k < replicas; k++ {
+			jobs <- job{exp: i, rep: k}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	results := make([]Result, len(exps))
+	var failures []error
+	for i, e := range exps {
+		res := Result{
+			ID:      e.ID,
+			Title:   e.Title,
+			Seed:    DeriveSeed(baseSeed, e.ID, 0),
+			Reports: reports[i],
+		}
+		for k := 0; k < replicas; k++ {
+			res.Elapsed += elapsed[i][k]
+			if errs[i][k] != nil && res.Err == nil {
+				res.Err = fmt.Errorf("atlarge: experiment %s (replica %d): %w", e.ID, k, errs[i][k])
+			}
+		}
+		if res.Err != nil {
+			failures = append(failures, res.Err)
+		} else {
+			res.Report = reports[i][0]
+			if replicas > 1 {
+				res.Aggregate = AggregateRows(reports[i])
+			}
+		}
+		results[i] = res
+	}
+	return results, errors.Join(failures...)
+}
+
+func (r *Runner) registry() *Registry {
+	if r.Registry != nil {
+		return r.Registry
+	}
+	return DefaultRegistry()
+}
+
+// RunAll executes every registered experiment with the default parallel
+// runner (GOMAXPROCS workers, one replica).
+func RunAll(seed int64) ([]Result, error) {
+	return (&Runner{}).RunAll(seed)
+}
+
+// numberRe matches the numeric fields embedded in report rows.
+var numberRe = regexp.MustCompile(`-?[0-9]+(?:\.[0-9]+)?`)
+
+// spaceRe collapses padding runs when comparing row skeletons.
+var spaceRe = regexp.MustCompile(`[ \t]+`)
+
+// AggregateRows merges the rows of replica reports of one experiment: for
+// every row position whose non-numeric skeleton agrees across replicas, each
+// numeric field that varies across replicas is replaced with "mean±hw" where
+// hw is the half-width of a normal-approximation 95% confidence interval.
+// Fields identical in every replica (labels, counts that did not change) are
+// left as they are. Rows whose skeletons disagree fall back to the replica-0
+// text.
+func AggregateRows(reports []*Report) []string {
+	if len(reports) == 0 {
+		return nil
+	}
+	base := reports[0]
+	out := make([]string, len(base.Rows))
+	for ri, row := range base.Rows {
+		out[ri] = aggregateRow(reports, ri, row)
+	}
+	return out
+}
+
+// skeletonOf reduces a row to its non-numeric shape: numeric fields become
+// placeholders and padding runs collapse, so replicas whose numbers render
+// at different widths still align.
+func skeletonOf(row string) string {
+	return spaceRe.ReplaceAllString(numberRe.ReplaceAllString(row, "\x00"), " ")
+}
+
+func aggregateRow(reports []*Report, ri int, baseRow string) string {
+	skeleton := skeletonOf(baseRow)
+	locs := numberRe.FindAllStringIndex(baseRow, -1)
+	values := make([][]float64, len(locs))
+	for vi := range values {
+		values[vi] = make([]float64, 0, len(reports))
+	}
+	for _, rep := range reports {
+		if rep == nil || ri >= len(rep.Rows) {
+			return baseRow
+		}
+		row := rep.Rows[ri]
+		if skeletonOf(row) != skeleton {
+			return baseRow
+		}
+		nums := numberRe.FindAllString(row, -1)
+		if len(nums) != len(locs) {
+			return baseRow
+		}
+		for vi, n := range nums {
+			v, err := strconv.ParseFloat(n, 64)
+			if err != nil {
+				return baseRow
+			}
+			values[vi] = append(values[vi], v)
+		}
+	}
+
+	var b []byte
+	prev := 0
+	for vi, loc := range locs {
+		b = append(b, baseRow[prev:loc[0]]...)
+		b = append(b, formatAggregate(baseRow[loc[0]:loc[1]], values[vi])...)
+		prev = loc[1]
+	}
+	b = append(b, baseRow[prev:]...)
+	return string(b)
+}
+
+// formatAggregate renders one numeric field across replicas: unchanged when
+// constant, mean±hw otherwise.
+func formatAggregate(orig string, vs []float64) string {
+	constant := true
+	for _, v := range vs[1:] {
+		if v != vs[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		return orig
+	}
+	return fmt.Sprintf("%.4g±%.2g", stats.Mean(vs), stats.HalfWidth95(vs))
+}
