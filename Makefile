@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short lint fmt vet bench run-all clean
+.PHONY: all build test test-short lint fmt vet bench run-all scenario-golden clean
 
 all: build lint test
 
@@ -33,6 +33,17 @@ bench:
 
 run-all:
 	$(GO) run ./cmd/atlarge run --all --parallel 4
+
+# End-to-end determinism check of the scenario engine through the CLI: the
+# committed example sweep must produce byte-identical JSON at --parallel 1
+# and --parallel 8, matching the committed golden file.
+scenario-golden:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/atlarge scenario sweep examples/scenarios/policy-vs-load.json --replicas 3 --parallel 1 --format json > "$$tmp/p1.json"; \
+	$(GO) run ./cmd/atlarge scenario sweep examples/scenarios/policy-vs-load.json --replicas 3 --parallel 8 --format json > "$$tmp/p8.json"; \
+	cmp "$$tmp/p1.json" "$$tmp/p8.json"; \
+	cmp "$$tmp/p1.json" internal/scenario/testdata/policy-vs-load.golden.json; \
+	echo "scenario-golden: OK"
 
 clean:
 	$(GO) clean ./...

@@ -1,9 +1,13 @@
-// Command atlarge reproduces the paper's tables and figures.
+// Command atlarge reproduces the paper's tables and figures and runs
+// declarative what-if scenarios.
 //
 // Usage:
 //
-//	atlarge list [-tag T]
+//	atlarge list [-tag T] [--format text|json]
 //	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]
+//	atlarge scenario validate <spec.json>
+//	atlarge scenario run <spec.json> [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
+//	atlarge scenario sweep <spec.json> [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
 //
 // Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
 //
@@ -11,6 +15,12 @@
 // on a bounded worker pool. Seeds are derived per experiment and replica, so
 // reports are identical for every --parallel level; --format json emits the
 // machine-readable report set.
+//
+// scenario drives the declarative what-if engine (internal/scenario):
+// validate checks a spec and reports every problem, run executes an unswept
+// spec, and sweep expands the spec's axis lists into the cross-product of
+// concrete scenarios and renders the comparative report. See
+// examples/scenarios/ for runnable specs.
 package main
 
 import (
@@ -22,10 +32,38 @@ import (
 	"strings"
 
 	"atlarge"
+	"atlarge/internal/scenario"
 )
 
 func newFlagSet(name string) *flag.FlagSet {
 	return flag.NewFlagSet(name, flag.ContinueOnError)
+}
+
+// parseInterleaved accepts positionals anywhere around the flags
+// (`run fig9 -seed 7`, `run --seed 7 fig9 --format json`): it collects
+// leading positionals, parses flags, and resumes on what Parse stopped at.
+// A bare "-" counts as a positional: flag.Parse stops at it without
+// consuming it, so treating it as a flag would loop forever.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var positionals []string
+	for len(args) > 0 {
+		if args[0] == "-" || !strings.HasPrefix(args[0], "-") {
+			positionals = append(positionals, args[0])
+			args = args[1:]
+			continue
+		}
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		rem := fs.Args()
+		// flag.Parse consumes a bare "--" terminator; everything after it
+		// is positional even when it starts with "-".
+		if cut := len(args) - len(rem); cut >= 1 && args[cut-1] == "--" {
+			return append(positionals, rem...), nil
+		}
+		args = rem
+	}
+	return positionals, nil
 }
 
 func main() {
@@ -56,24 +94,52 @@ type jsonOutput struct {
 	Experiments []jsonReport `json:"experiments"`
 }
 
+// listEntry is one experiment in `list --format json`, so tooling can
+// discover the catalog the same way it discovers scenarios.
+type listEntry struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Tags  []string `json:"tags,omitempty"`
+	Order int      `json:"order"`
+}
+
 func runTo(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: atlarge <list|run> [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]")
+		return fmt.Errorf("usage: atlarge <list|run|scenario> [args] (see 'go doc atlarge/cmd/atlarge')")
 	}
 	switch args[0] {
 	case "list":
 		fs := newFlagSet("list")
 		tag := fs.String("tag", "", "only experiments carrying this tag")
+		format := fs.String("format", "text", "output format: text or json")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
+		if *format != "text" && *format != "json" {
+			return fmt.Errorf("unknown format %q (want text or json)", *format)
+		}
+		var entries []listEntry
 		for _, e := range atlarge.DefaultRegistry().Experiments() {
 			if *tag != "" && !e.HasTag(*tag) {
 				continue
 			}
-			fmt.Fprintln(w, e.ID)
+			if *format == "text" {
+				fmt.Fprintln(w, e.ID)
+				continue
+			}
+			entries = append(entries, listEntry{ID: e.ID, Title: e.Title, Tags: e.Tags, Order: e.Order})
+		}
+		if *format == "json" {
+			if entries == nil {
+				entries = []listEntry{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(entries)
 		}
 		return nil
+	case "scenario":
+		return runScenario(w, args[1:])
 	case "run":
 		fs := newFlagSet("run")
 		var (
@@ -83,21 +149,9 @@ func runTo(w io.Writer, args []string) error {
 			replicas = fs.Int("replicas", 1, "replicas per experiment, aggregated as mean±95% CI")
 			format   = fs.String("format", "text", "output format: text or json")
 		)
-		// Accept ids anywhere around the flags (atlarge run fig9 -seed 7,
-		// atlarge run --seed 7 fig9 --format json): collect leading
-		// positionals, parse flags, and resume on what Parse stopped at.
-		rest := args[1:]
-		var ids []string
-		for len(rest) > 0 {
-			if !strings.HasPrefix(rest[0], "-") {
-				ids = append(ids, rest[0])
-				rest = rest[1:]
-				continue
-			}
-			if err := fs.Parse(rest); err != nil {
-				return err
-			}
-			rest = fs.Args()
+		ids, err := parseInterleaved(fs, args[1:])
+		if err != nil {
+			return err
 		}
 		if *format != "text" && *format != "json" {
 			return fmt.Errorf("unknown format %q (want text or json)", *format)
@@ -150,5 +204,86 @@ func runTo(w io.Writer, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runScenario dispatches the scenario subcommands: validate, run, sweep.
+func runScenario(w io.Writer, args []string) error {
+	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]"
+	if len(args) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	sub := args[0]
+	if sub != "validate" && sub != "run" && sub != "sweep" {
+		return fmt.Errorf("unknown scenario subcommand %q\n%s", sub, usage)
+	}
+	fs := newFlagSet("scenario " + sub)
+	var (
+		seed     = fs.Int64("seed", 0, "base seed override (default: the spec's seed)")
+		parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		replicas = fs.Int("replicas", 0, "replicas per scenario (default: the spec's replicas)")
+		format   = fs.String("format", "text", "output format: text, json, or csv")
+	)
+	paths, err := parseInterleaved(fs, args[1:])
+	if err != nil {
+		return err
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if len(paths) != 1 {
+		return fmt.Errorf("scenario %s wants exactly one spec file, got %d\n%s", sub, len(paths), usage)
+	}
+	if *format != "text" && *format != "json" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want text, json, or csv)", *format)
+	}
+
+	spec, err := scenario.Load(paths[0])
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "validate":
+		cells, err := scenario.Expand(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok: spec %q expands to %d scenario(s)\n", spec.Name, len(cells))
+		return nil
+	case "run", "sweep":
+		var cells []scenario.Scenario
+		if sub == "run" {
+			single, err := scenario.Single(spec)
+			if err != nil {
+				return err
+			}
+			cells = []scenario.Scenario{*single}
+		} else {
+			if cells, err = scenario.Expand(spec); err != nil {
+				return err
+			}
+		}
+		opt := scenario.Options{Replicas: *replicas, Parallelism: *parallel}
+		if seedSet {
+			opt.Seed = seed
+		}
+		rep, err := scenario.Run(spec, cells, opt)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "json":
+			return rep.WriteJSON(w)
+		case "csv":
+			return rep.WriteCSV(w)
+		default:
+			return rep.WriteText(w)
+		}
+	default:
+		return fmt.Errorf("unknown scenario subcommand %q\n%s", sub, usage)
 	}
 }

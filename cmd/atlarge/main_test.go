@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -104,5 +106,158 @@ func TestRunTextFormat(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "== fig9: Figure 9") {
 		t.Errorf("text header missing:\n%s", buf.String())
+	}
+}
+
+func TestListJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"list", "--format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		ID    string   `json:"id"`
+		Title string   `json:"title"`
+		Tags  []string `json:"tags"`
+		Order int      `json:"order"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(entries) != 12 {
+		t.Fatalf("got %d entries, want 12", len(entries))
+	}
+	if entries[0].ID != "fig1" || entries[0].Title == "" || len(entries[0].Tags) == 0 {
+		t.Errorf("first entry incomplete: %+v", entries[0])
+	}
+	buf.Reset()
+	if err := runTo(&buf, []string{"list", "-tag", "no-such-tag", "--format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty filter should emit [], got %q", got)
+	}
+	if err := runTo(&buf, []string{"list", "--format", "yaml"}); err == nil {
+		t.Error("unknown list format accepted")
+	}
+}
+
+const exampleSweepSpec = "../../examples/scenarios/policy-vs-load.json"
+
+func TestScenarioValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"scenario", "validate", exampleSweepSpec}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "expands to 9 scenario(s)") {
+		t.Errorf("validate output: %q", buf.String())
+	}
+}
+
+func TestScenarioValidateRejectsMalformed(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	spec := `{"version": 1, "name": "x", "workload": {"class": "hpc"}, "policy": "heft"}`
+	if err := os.WriteFile(bad, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runTo(&bytes.Buffer{}, []string{"scenario", "validate", bad})
+	if err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	for _, want := range []string{"workload.class", "policy", "known:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestScenarioUsageErrors(t *testing.T) {
+	if err := runTo(&bytes.Buffer{}, []string{"scenario"}); err == nil {
+		t.Error("bare scenario accepted")
+	}
+	if err := runTo(&bytes.Buffer{}, []string{"scenario", "frobnicate", exampleSweepSpec}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := runTo(&bytes.Buffer{}, []string{"scenario", "validate"}); err == nil {
+		t.Error("missing spec path accepted")
+	}
+	if err := runTo(&bytes.Buffer{}, []string{"scenario", "sweep", exampleSweepSpec, "--format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// `run` on a sweep spec must point at `sweep`.
+	err := runTo(&bytes.Buffer{}, []string{"scenario", "run", exampleSweepSpec})
+	if err == nil || !strings.Contains(err.Error(), "scenario sweep") {
+		t.Errorf("run on sweep spec: %v", err)
+	}
+}
+
+// TestScenarioSweepParallelParity pins the acceptance criterion: the JSON
+// report of the committed example sweep is byte-identical at --parallel 1
+// and --parallel 8.
+func TestScenarioSweepParallelParity(t *testing.T) {
+	render := func(parallel string) string {
+		var buf bytes.Buffer
+		args := []string{"scenario", "sweep", exampleSweepSpec,
+			"--replicas", "3", "--parallel", parallel, "--format", "json"}
+		if err := runTo(&buf, args); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render("1") != render("8") {
+		t.Error("sweep JSON differs between --parallel 1 and --parallel 8")
+	}
+}
+
+func TestScenarioRunSingle(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "single.json")
+	src := `{"version": 1, "name": "single", "policy": "sjf",
+		"workload": {"class": "syn", "jobs": 10}, "cluster": {"machines": 4}}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"scenario", "run", spec, "--seed", "5", "--format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "scenario,metric,mean,ci95\n") {
+		t.Errorf("csv header: %q", out)
+	}
+	if !strings.Contains(out, "single,mean_response_s,") {
+		t.Errorf("csv missing response metric:\n%s", out)
+	}
+}
+
+// TestBareDashIsPositional pins that a bare "-" argument terminates (it used
+// to spin forever: flag.Parse stops at "-" without consuming it).
+func TestBareDashIsPositional(t *testing.T) {
+	if err := runTo(&bytes.Buffer{}, []string{"run", "-"}); err == nil {
+		t.Error(`bare "-" should be an unknown experiment`)
+	}
+	err := runTo(&bytes.Buffer{}, []string{"scenario", "validate", exampleSweepSpec, "-"})
+	if err == nil || !strings.Contains(err.Error(), "exactly one spec file") {
+		t.Errorf(`bare "-" should count as a second path: %v`, err)
+	}
+}
+
+// TestDoubleDashTerminatesFlags pins the standard "--" escape: everything
+// after it is positional, even when it starts with "-".
+func TestDoubleDashTerminatesFlags(t *testing.T) {
+	err := runTo(&bytes.Buffer{}, []string{"run", "--seed", "7", "--", "-weird-id"})
+	if err == nil || !strings.Contains(err.Error(), `unknown experiment "-weird-id"`) {
+		t.Errorf(`"--" did not make "-weird-id" positional: %v`, err)
+	}
+	err = runTo(&bytes.Buffer{}, []string{"scenario", "validate", "--", "-no-such-spec.json"})
+	if err == nil || !strings.Contains(err.Error(), "-no-such-spec.json") {
+		t.Errorf(`"--" did not make the spec path positional: %v`, err)
+	}
+}
+
+// TestScenarioSubcommandCheckedFirst pins that a typoed subcommand is
+// reported before any flag parsing or spec loading.
+func TestScenarioSubcommandCheckedFirst(t *testing.T) {
+	err := runTo(&bytes.Buffer{}, []string{"scenario", "sweeep", "/nonexistent.json"})
+	if err == nil || !strings.Contains(err.Error(), `unknown scenario subcommand "sweeep"`) {
+		t.Errorf("typoed subcommand not reported first: %v", err)
 	}
 }

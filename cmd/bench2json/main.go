@@ -1,0 +1,114 @@
+// Command bench2json converts `go test -bench` output on stdin into a JSON
+// benchmark record on stdout, so CI can archive benchmark smoke runs as
+// BENCH_*.json artifacts and the performance trajectory can be tracked
+// across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x ./... | bench2json -suite smoke > BENCH_smoke.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// measurement is one parsed benchmark line.
+type measurement struct {
+	// Package is the pkg: header in effect when the line appeared.
+	Package string `json:"package,omitempty"`
+	// Name is the benchmark name including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op value.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra holds any further unit pairs (B/op, allocs/op, MB/s, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// output is the archived record.
+type output struct {
+	Suite      string        `json:"suite"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []measurement `json:"benchmarks"`
+}
+
+func main() {
+	suite := flag.String("suite", "bench", "suite label stored in the record")
+	flag.Parse()
+	if err := run(*suite); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suite string) error {
+	out := output{Suite: suite, Benchmarks: []measurement{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if m, ok := parseBenchLine(line); ok {
+				m.Package = pkg
+				out.Benchmarks = append(out.Benchmarks, m)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseBenchLine parses "BenchmarkName-8  100  12345 ns/op  456 B/op ...".
+func parseBenchLine(line string) (measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return measurement{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return measurement{}, false
+	}
+	m := measurement{Name: fields[0], Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return measurement{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			m.NsPerOp = v
+			sawNs = true
+			continue
+		}
+		if m.Extra == nil {
+			m.Extra = map[string]float64{}
+		}
+		m.Extra[unit] = v
+	}
+	return m, sawNs
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	m, ok := parseBenchLine("BenchmarkTable9Row-8   \t     100\t  12345 ns/op\t  456 B/op\t       7 allocs/op")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if m.Name != "BenchmarkTable9Row-8" || m.Iterations != 100 || m.NsPerOp != 12345 {
+		t.Errorf("parsed %+v", m)
+	}
+	if m.Extra["B/op"] != 456 || m.Extra["allocs/op"] != 7 {
+		t.Errorf("extra units: %+v", m.Extra)
+	}
+
+	if _, ok := parseBenchLine("BenchmarkBare-8"); ok {
+		t.Error("line without measurements accepted")
+	}
+	if _, ok := parseBenchLine("BenchmarkNoNs-8 100 3 MB/s"); ok {
+		t.Error("line without ns/op accepted")
+	}
+	if _, ok := parseBenchLine("PASS"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"atlarge"
 	"atlarge/internal/cluster"
@@ -64,13 +65,18 @@ func run() error {
 		*replicas = 1
 	}
 
-	class, err := parseClass(*workloadName)
+	class, err := workload.ClassByName(*workloadName)
 	if err != nil {
 		return err
 	}
-	kind, err := parseKind(*envName)
+	kind, err := cluster.KindByName(*envName)
 	if err != nil {
 		return err
+	}
+	if !strings.EqualFold(*policyName, "portfolio") {
+		if _, err := sched.PolicyByName(*policyName); err != nil {
+			return fmt.Errorf("%w (or %q)", err, "portfolio")
+		}
 	}
 
 	var slowdowns, responses []float64
@@ -120,7 +126,7 @@ func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs in
 	tr := workload.StandardGenerator(class).Generate(jobs, rand.New(rand.NewSource(seed)))
 	envFactory := func() *cluster.Environment { return cluster.StandardEnvironment(kind) }
 
-	if policyName == "portfolio" {
+	if strings.EqualFold(policyName, "portfolio") {
 		s := &portfolio.Scheduler{
 			Policies:   sched.DefaultPortfolio(),
 			Selector:   portfolio.Exhaustive{},
@@ -142,14 +148,9 @@ func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs in
 		return res.MeanSlowdown, res.MeanResponse, nil
 	}
 
-	var policy sched.Policy
-	for _, p := range sched.DefaultPortfolio() {
-		if p.Name() == policyName {
-			policy = p
-		}
-	}
-	if policy == nil {
-		return 0, 0, fmt.Errorf("unknown policy %q", policyName)
+	policy, err := sched.PolicyByName(policyName)
+	if err != nil {
+		return 0, 0, err
 	}
 	res, err := sched.NewSimulator(envFactory(), tr, policy, seed).Run()
 	if err != nil {
@@ -161,29 +162,4 @@ func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs in
 			res.MeanSlowdown, res.MeanWait, res.UtilizationMean)
 	}
 	return res.MeanSlowdown, float64(res.MeanResponse), nil
-}
-
-func parseClass(s string) (workload.Class, error) {
-	for _, c := range []workload.Class{
-		workload.ClassSynthetic, workload.ClassScientific, workload.ClassComputerEngineering,
-		workload.ClassBusinessCritical, workload.ClassBigData, workload.ClassGaming,
-		workload.ClassIndustrial,
-	} {
-		if c.String() == s {
-			return c, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown workload class %q", s)
-}
-
-func parseKind(s string) (cluster.Kind, error) {
-	for _, k := range []cluster.Kind{
-		cluster.KindCluster, cluster.KindGrid, cluster.KindCloud,
-		cluster.KindMultiCluster, cluster.KindGeoDistributed,
-	} {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown environment %q", s)
 }

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// kindNames maps accepted spellings (lower-cased) to environment kinds: the
+// Table 9 acronyms plus descriptive long names.
+var kindNames = map[string]Kind{
+	"cl":              KindCluster,
+	"cluster":         KindCluster,
+	"g":               KindGrid,
+	"grid":            KindGrid,
+	"cd":              KindCloud,
+	"cloud":           KindCloud,
+	"mcd":             KindMultiCluster,
+	"multi-cluster":   KindMultiCluster,
+	"gdc":             KindGeoDistributed,
+	"geo-distributed": KindGeoDistributed,
+}
+
+// KindByName resolves an environment kind from its Table 9 acronym or long
+// name, case-insensitively.
+func KindByName(name string) (Kind, error) {
+	if k, ok := kindNames[strings.ToLower(name)]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown environment kind %q (known: %s)", name, strings.Join(KindNames(), ", "))
+}
+
+// KindNames returns the accepted kind spellings in sorted order.
+func KindNames() []string {
+	out := make([]string, 0, len(kindNames))
+	for name := range kindNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"CL", KindCluster},
+		{"cluster", KindCluster},
+		{"g", KindGrid},
+		{"Grid", KindGrid},
+		{"CD", KindCloud},
+		{"mcd", KindMultiCluster},
+		{"geo-distributed", KindGeoDistributed},
+		{"GDC", KindGeoDistributed},
+	}
+	for _, c := range cases {
+		got, err := KindByName(c.in)
+		if err != nil {
+			t.Errorf("KindByName(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("KindByName(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := KindByName("edge"); err == nil {
+		t.Error("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error does not list catalog: %v", err)
+	}
+}
+
+// TestKindByNameRoundTrip pins that every Kind String() resolves back to
+// itself.
+func TestKindByNameRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindCluster, KindGrid, KindCloud, KindMultiCluster, KindGeoDistributed} {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"atlarge/internal/stats"
+)
+
+// Metric is one aggregated measurement of a cell: the per-replica values in
+// replica order plus their mean and 95% CI half-width (normal approximation).
+type Metric struct {
+	Mean   float64   `json:"mean"`
+	CI95   float64   `json:"ci95"`
+	Values []float64 `json:"values"`
+}
+
+// NewMetric aggregates per-replica values.
+func NewMetric(values []float64) Metric {
+	return Metric{Mean: stats.Mean(values), CI95: stats.HalfWidth95(values), Values: values}
+}
+
+// Axis is one sweep dimension with its rendered values in declared order.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// Cell is one concrete scenario's aggregated outcome.
+type Cell struct {
+	// ID is the scenario identifier (also the seed-derivation key).
+	ID string `json:"id"`
+	// Params are the axis assignments that produced the cell.
+	Params []Param `json:"params,omitempty"`
+	// Seed is the derived base seed of replica 0.
+	Seed int64 `json:"seed"`
+	// Metrics maps metric name to its replica aggregate.
+	Metrics map[string]Metric `json:"metrics"`
+	// BestFor lists the "axis=value" groups in which this cell has the
+	// best objective value.
+	BestFor []string `json:"best_for,omitempty"`
+}
+
+// param returns the cell's rendered value for an axis ("" when not swept).
+func (c *Cell) param(axis string) string {
+	for _, p := range c.Params {
+		if p.Axis == axis {
+			return p.Value
+		}
+	}
+	return ""
+}
+
+// Report is the comparative outcome of a scenario run or sweep. Its JSON
+// form carries no timing and is byte-identical for any parallelism level.
+type Report struct {
+	Name        string `json:"name"`
+	SpecVersion int    `json:"spec_version"`
+	Seed        int64  `json:"seed"`
+	Replicas    int    `json:"replicas"`
+	Objective   string `json:"objective"`
+	Axes        []Axis `json:"axes,omitempty"`
+	Cells       []Cell `json:"cells"`
+	// BestCell is the objective-best cell over the whole sweep.
+	BestCell string `json:"best_cell,omitempty"`
+}
+
+// better reports whether a beats b on the report's objective direction.
+func (r *Report) better(a, b float64) bool {
+	if higherBetter[r.Objective] {
+		return a > b
+	}
+	return a < b
+}
+
+// highlight computes BestCell and each cell's BestFor groups: for every
+// value of every axis, the cell with the best objective among the cells
+// sharing that value. Ties keep the earliest cell, so the marking is
+// deterministic.
+func (r *Report) highlight() {
+	bestIn := func(cells []int) int {
+		best := -1
+		for _, ci := range cells {
+			m, ok := r.Cells[ci].Metrics[r.Objective]
+			if !ok {
+				continue
+			}
+			if best < 0 || r.better(m.Mean, r.Cells[best].Metrics[r.Objective].Mean) {
+				best = ci
+			}
+		}
+		return best
+	}
+
+	all := make([]int, len(r.Cells))
+	for i := range r.Cells {
+		all[i] = i
+	}
+	if bi := bestIn(all); bi >= 0 && len(r.Cells) > 1 {
+		r.BestCell = r.Cells[bi].ID
+	}
+	for _, ax := range r.Axes {
+		for _, v := range ax.Values {
+			var group []int
+			for i := range r.Cells {
+				if r.Cells[i].param(ax.Name) == v {
+					group = append(group, i)
+				}
+			}
+			if len(group) < 2 {
+				continue
+			}
+			if bi := bestIn(group); bi >= 0 {
+				c := &r.Cells[bi]
+				c.BestFor = append(c.BestFor, ax.Name+"="+v)
+			}
+		}
+	}
+}
+
+// WriteJSON emits the machine-readable report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits the report in long form: one row per (cell, metric), with
+// one leading column per sweep axis.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario"}
+	for _, ax := range r.Axes {
+		header = append(header, ax.Name)
+	}
+	header = append(header, "metric", "mean", "ci95")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("scenario: csv: %w", err)
+	}
+	for _, cell := range r.Cells {
+		for _, name := range sortedMetricNames([]Cell{cell}) {
+			m := cell.Metrics[name]
+			row := []string{cell.ID}
+			for _, ax := range r.Axes {
+				row = append(row, cell.param(ax.Name))
+			}
+			row = append(row, name, formatMean(m.Mean), formatMean(m.CI95))
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("scenario: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatMean renders an aggregated value compactly but stably.
+func formatMean(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteText emits the human-readable comparative report: a header, a pivot
+// table of the objective for two-axis sweeps, and the full per-cell metric
+// table. Cells marked "*" are the best in at least one axis group.
+func (r *Report) WriteText(w io.Writer) error {
+	direction := "lower is better"
+	if higherBetter[r.Objective] {
+		direction = "higher is better"
+	}
+	fmt.Fprintf(w, "scenario %q: %d cell(s) x %d replica(s), seed %d, objective %s (%s)\n",
+		r.Name, len(r.Cells), r.Replicas, r.Seed, r.Objective, direction)
+	for _, ax := range r.Axes {
+		fmt.Fprintf(w, "  axis %s: %s\n", ax.Name, strings.Join(ax.Values, " "))
+	}
+	if len(r.Axes) == 2 {
+		fmt.Fprintln(w)
+		r.writePivot(w)
+	}
+	fmt.Fprintln(w)
+	r.writeCellTable(w)
+	if r.BestCell != "" {
+		fmt.Fprintf(w, "\nbest cell (%s): %s\n", r.Objective, r.BestCell)
+	}
+	if len(r.Axes) > 0 {
+		fmt.Fprintln(w, `cells marked "*" are best in their axis group (see best_for in the JSON report)`)
+	}
+	return nil
+}
+
+// writePivot renders the objective as rows × columns over the two axes.
+func (r *Report) writePivot(w io.Writer) {
+	rowAx, colAx := r.Axes[0], r.Axes[1]
+	cellAt := func(rv, cv string) *Cell {
+		for i := range r.Cells {
+			if r.Cells[i].param(rowAx.Name) == rv && r.Cells[i].param(colAx.Name) == cv {
+				return &r.Cells[i]
+			}
+		}
+		return nil
+	}
+	table := make([][]string, 0, len(rowAx.Values)+1)
+	head := []string{r.Objective + " | " + rowAx.Name + `\` + colAx.Name}
+	head = append(head, colAx.Values...)
+	table = append(table, head)
+	for _, rv := range rowAx.Values {
+		row := []string{rv}
+		for _, cv := range colAx.Values {
+			cell := cellAt(rv, cv)
+			if cell == nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, renderMetric(cell.Metrics, r.Objective)+mark(cell))
+		}
+		table = append(table, row)
+	}
+	writeAligned(w, table)
+}
+
+// writeCellTable renders every cell with every metric.
+func (r *Report) writeCellTable(w io.Writer) {
+	names := sortedMetricNames(r.Cells)
+	head := []string{"scenario"}
+	head = append(head, names...)
+	table := [][]string{head}
+	for i := range r.Cells {
+		cell := &r.Cells[i]
+		row := []string{cell.ID + mark(cell)}
+		for _, name := range names {
+			row = append(row, renderMetric(cell.Metrics, name))
+		}
+		table = append(table, row)
+	}
+	writeAligned(w, table)
+}
+
+// mark flags cells that are best in at least one axis group.
+func mark(c *Cell) string {
+	if len(c.BestFor) > 0 {
+		return "*"
+	}
+	return ""
+}
+
+// renderMetric formats "mean±ci95" (mean alone when the CI is zero).
+func renderMetric(ms map[string]Metric, name string) string {
+	m, ok := ms[name]
+	if !ok {
+		return "-"
+	}
+	if m.CI95 == 0 {
+		return fmt.Sprintf("%.4g", m.Mean)
+	}
+	return fmt.Sprintf("%.4g±%.2g", m.Mean, m.CI95)
+}
+
+// writeAligned prints a table with space-padded columns; widths count runes
+// so the "±" in aggregated cells does not skew the padding.
+func writeAligned(w io.Writer, table [][]string) {
+	widths := make([]int, len(table[0]))
+	for _, row := range table {
+		for i, cellText := range row {
+			if n := utf8.RuneCountInString(cellText); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	for _, row := range table {
+		var b strings.Builder
+		for i, cellText := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cellText)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cellText)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}

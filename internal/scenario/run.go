@@ -1,0 +1,369 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"atlarge"
+	"atlarge/internal/cluster"
+	"atlarge/internal/portfolio"
+	"atlarge/internal/sched"
+	"atlarge/internal/sim"
+	"atlarge/internal/workload"
+)
+
+// Metric names emitted by scenario runs. Static policies report the full
+// set; the portfolio scheduler reports the subset its result carries plus
+// its selection counters.
+const (
+	MetricJobs           = "jobs"
+	MetricMakespan       = "makespan_s"
+	MetricMeanResponse   = "mean_response_s"
+	MetricMeanWait       = "mean_wait_s"
+	MetricMeanSlowdown   = "mean_slowdown"
+	MetricUtilization    = "utilization"
+	MetricDeadlineMisses = "deadline_misses"
+	MetricWindows        = "windows"
+	MetricSelectionSims  = "selection_sims"
+)
+
+// higherBetter maps each metric to its comparison direction for
+// best-per-axis highlighting; metrics not listed are lower-is-better.
+var higherBetter = map[string]bool{
+	MetricUtilization: true,
+}
+
+// metricNames lists every metric a scenario run may emit, sorted.
+var metricNames = []string{
+	MetricDeadlineMisses, MetricJobs, MetricMakespan, MetricMeanResponse,
+	MetricMeanSlowdown, MetricMeanWait, MetricSelectionSims,
+	MetricUtilization, MetricWindows,
+}
+
+// MetricNames returns the known metric names in sorted order.
+func MetricNames() []string { return append([]string(nil), metricNames...) }
+
+func knownMetric(name string) bool {
+	for _, m := range metricNames {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// portfolioMetrics are the metrics runCell emits for the portfolio
+// scheduler; simulatorMetrics are the ones static policies emit. The
+// objective must be emitted by every policy a spec runs, or best-cell
+// highlighting would silently do nothing.
+var (
+	portfolioMetrics = map[string]bool{
+		MetricJobs: true, MetricMeanResponse: true, MetricMeanSlowdown: true,
+		MetricWindows: true, MetricSelectionSims: true,
+	}
+	simulatorMetrics = map[string]bool{
+		MetricJobs: true, MetricMakespan: true, MetricMeanResponse: true,
+		MetricMeanWait: true, MetricMeanSlowdown: true, MetricUtilization: true,
+		MetricDeadlineMisses: true,
+	}
+)
+
+// Options configures a scenario execution.
+type Options struct {
+	// Replicas overrides the spec's replica count; 0 keeps the spec value
+	// (which itself defaults to 1).
+	Replicas int
+	// Parallelism bounds the runner's worker pool; 0 means GOMAXPROCS.
+	// Reports are byte-identical at every parallelism level.
+	Parallelism int
+	// Seed overrides the spec's base seed when non-nil.
+	Seed *int64
+}
+
+// Run executes the concrete scenarios over the parallel atlarge.Runner and
+// aggregates each cell's replica metrics into mean ± 95% CI.
+//
+// Every (scenario, replica) pair is one unit of work with two deterministic
+// derived seeds: the simulation seed atlarge.DeriveSeed(base, cellID,
+// replica), and the workload-generation seed DeriveSeed(base, workloadID,
+// replica), where workloadID carries only the generation-relevant axes. Cells
+// that differ only in policy, load, or cluster shape therefore face the
+// identical generated job set per replica (common random numbers), so their
+// comparison measures the design change, not workload sampling noise.
+func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
+	replicas := opt.Replicas
+	if replicas <= 0 {
+		replicas = s.Replicas
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	seed := s.Seed
+	if opt.Seed != nil {
+		seed = *opt.Seed
+	}
+
+	reg := atlarge.NewRegistry()
+	ids := make([]string, 0, len(cells)*replicas)
+	for i := range cells {
+		for rep := 0; rep < replicas; rep++ {
+			sc := &cells[i]
+			id := fmt.Sprintf("%s#%d", sc.ID(), rep)
+			workloadSeed := atlarge.DeriveSeed(seed, sc.WorkloadID(), rep)
+			simSeed := atlarge.DeriveSeed(seed, sc.ID(), rep)
+			if err := reg.Register(atlarge.Experiment{
+				ID:    id,
+				Title: "scenario " + id,
+				Tags:  []string{"scenario"},
+				Order: len(ids),
+				// The runner's own derived seed is ignored: this unit
+				// carries its pair of seeds computed above.
+				Run: func(int64) (*atlarge.Report, error) { return runCell(sc, workloadSeed, simSeed) },
+			}); err != nil {
+				return nil, fmt.Errorf("scenario: duplicate cell %q (a sweep axis repeats a value?): %w", sc.ID(), err)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	runner := &atlarge.Runner{Registry: reg, Parallelism: opt.Parallelism}
+	results, err := runner.Run(ids, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Name:        s.Name,
+		SpecVersion: s.Version,
+		Seed:        seed,
+		Replicas:    replicas,
+		Objective:   s.objective(),
+		Axes:        reportAxes(s),
+		Cells:       make([]Cell, len(cells)),
+	}
+	for i := range cells {
+		cell, err := parseCell(&cells[i], seed, results[i*replicas:(i+1)*replicas])
+		if err != nil {
+			return nil, err
+		}
+		rep.Cells[i] = cell
+	}
+	rep.highlight()
+	return rep, nil
+}
+
+// reportAxes renders the spec's sweep axes in expansion order.
+func reportAxes(s *Spec) []Axis {
+	var out []Axis
+	for _, name := range s.sweepAxes() {
+		ax := Axis{Name: name}
+		for _, v := range s.Sweep[name] {
+			ax.Values = append(ax.Values, formatValue(v))
+		}
+		out = append(out, ax)
+	}
+	return out
+}
+
+// parseCell folds one cell's replica results into a Cell. Cell.Seed is the
+// replica-0 simulation seed, so a single replica of the cell can be
+// reproduced directly.
+func parseCell(sc *Scenario, baseSeed int64, replicaResults []atlarge.Result) (Cell, error) {
+	cell := Cell{
+		ID:      sc.ID(),
+		Params:  sc.Params,
+		Seed:    atlarge.DeriveSeed(baseSeed, sc.ID(), 0),
+		Metrics: map[string]Metric{},
+	}
+	values := map[string][]float64{}
+	var order []string
+	for rep, res := range replicaResults {
+		for _, row := range res.Report.Rows {
+			name, raw, ok := strings.Cut(row, " ")
+			if !ok {
+				return Cell{}, fmt.Errorf("scenario: cell %s: malformed metric row %q", cell.ID, row)
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return Cell{}, fmt.Errorf("scenario: cell %s: metric %s: %w", cell.ID, name, err)
+			}
+			if rep == 0 {
+				order = append(order, name)
+			}
+			values[name] = append(values[name], v)
+		}
+	}
+	for _, name := range order {
+		cell.Metrics[name] = NewMetric(values[name])
+	}
+	return cell, nil
+}
+
+// runCell executes one (scenario, replica) and reports metrics as
+// "name value" rows, with exact float rendering so that the downstream
+// aggregation sees the precise simulated values. workloadSeed drives trace
+// generation (shared across cells that generate the same workload); simSeed
+// drives the simulation's own randomness.
+func runCell(sc *Scenario, workloadSeed, simSeed int64) (*atlarge.Report, error) {
+	env, envFactory, err := sc.buildEnv()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sc.buildTrace(workloadSeed, env.TotalCores())
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &atlarge.Report{ID: sc.ID(), Title: "scenario " + sc.ID()}
+	row := func(name string, v float64) {
+		rep.Rows = append(rep.Rows, name+" "+strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	if isPortfolio(sc.Policy) {
+		ps := &portfolio.Scheduler{
+			Policies:   sched.DefaultPortfolio(),
+			Selector:   portfolio.Exhaustive{},
+			WindowSize: 25,
+			EnvFactory: envFactory,
+			Seed:       simSeed,
+		}
+		res, err := ps.Run(tr)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+		}
+		row(MetricJobs, float64(len(tr.Jobs)))
+		row(MetricMeanResponse, res.MeanResponse)
+		row(MetricMeanSlowdown, res.MeanSlowdown)
+		row(MetricWindows, float64(len(res.Choices)))
+		row(MetricSelectionSims, float64(res.TotalSimRuns))
+		return rep, nil
+	}
+
+	pol, err := sched.PolicyByName(sc.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+	}
+	res, err := sched.NewSimulator(env, tr, pol, simSeed).Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+	}
+	row(MetricJobs, float64(len(res.Jobs)))
+	row(MetricMakespan, float64(res.Makespan))
+	row(MetricMeanResponse, res.MeanResponse)
+	row(MetricMeanWait, res.MeanWait)
+	row(MetricMeanSlowdown, res.MeanSlowdown)
+	row(MetricUtilization, res.UtilizationMean)
+	row(MetricDeadlineMisses, float64(res.DeadlineMisses))
+	return rep, nil
+}
+
+// buildEnv resolves the scenario's environment: the kind's calibrated
+// standard shape, with any of sites/machines/cores overridden. The factory
+// rebuilds fresh environments for the portfolio scheduler's what-if probes.
+func (sc *Scenario) buildEnv() (*cluster.Environment, func() *cluster.Environment, error) {
+	kindName := sc.Cluster.Kind
+	if kindName == "" {
+		kindName = "CL"
+	}
+	kind, err := cluster.KindByName(kindName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+	}
+	std := cluster.StandardEnvironment(kind)
+	sites, machines, cores := sc.Cluster.Sites, sc.Cluster.Machines, sc.Cluster.Cores
+	if sites == 0 {
+		sites = len(std.Clusters)
+	}
+	if machines == 0 {
+		machines = len(std.Clusters[0].Machines)
+	}
+	if cores == 0 {
+		cores = std.Clusters[0].Machines[0].Cores
+	}
+	factory := func() *cluster.Environment { return cluster.NewHomogeneous(kind, sites, machines, cores) }
+	return factory(), factory, nil
+}
+
+// buildTrace resolves the scenario's workload for one replica seed: an
+// imported GWA trace or a generated class (with optional arrival override),
+// then rescaled to the target offered load when one is set.
+func (sc *Scenario) buildTrace(seed int64, totalCores int) (*workload.Trace, error) {
+	var tr *workload.Trace
+	if sc.Workload.Trace != "" {
+		var err error
+		tr, err = sc.spec.loadTrace()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		class, err := workload.ClassByName(sc.Workload.Class)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+		}
+		gen := workload.StandardGenerator(class)
+		if a := sc.Workload.Arrival; a != nil {
+			ap, err := workload.ArrivalsByName(a.Process, a.Params)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+			}
+			gen.Arrivals = ap
+		}
+		jobs := sc.Workload.Jobs
+		if jobs <= 0 {
+			jobs = defaultJobs
+		}
+		tr = gen.Generate(jobs, rand.New(rand.NewSource(seed)))
+	}
+	if sc.Workload.Load > 0 {
+		scaleToLoad(tr, sc.Workload.Load, totalCores)
+	}
+	return tr, nil
+}
+
+// scaleToLoad rescales submission times so the offered load — total
+// CPU-seconds of work divided by (cores × submission span) — hits the
+// target. Stretching the span lowers load; compressing raises it. Traces
+// whose span or work is zero are left untouched.
+func scaleToLoad(tr *workload.Trace, target float64, totalCores int) {
+	span := float64(tr.Span())
+	if span <= 0 || totalCores <= 0 {
+		return
+	}
+	work := 0.0
+	for _, j := range tr.Jobs {
+		work += j.TotalWork()
+	}
+	if work <= 0 {
+		return
+	}
+	wantSpan := work / (float64(totalCores) * target)
+	factor := wantSpan / span
+	first := tr.Jobs[0].Submit
+	for _, j := range tr.Jobs {
+		if j.Submit < first {
+			first = j.Submit
+		}
+	}
+	for _, j := range tr.Jobs {
+		j.Submit = first + sim.Time(float64(j.Submit-first)*factor)
+	}
+}
+
+// sortedMetricNames returns the union of metric names over cells, sorted.
+func sortedMetricNames(cells []Cell) []string {
+	seen := map[string]bool{}
+	for _, c := range cells {
+		for name := range c.Metrics {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

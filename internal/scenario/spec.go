@@ -1,0 +1,345 @@
+// Package scenario is the declarative what-if engine of the AtLarge
+// reproduction: a versioned JSON specification names a workload (generated
+// class or imported GWA trace), a cluster shape, and a scheduling policy; a
+// sweep expander turns axis lists into the cross-product of concrete
+// scenarios; execution fans the expanded set out over the parallel
+// atlarge.Runner with deterministic per-(scenario, replica) seeds; and a
+// report layer aggregates the results into comparative tables
+// (mean ± 95% CI per cell, best-per-axis highlighting) in text, JSON, or CSV.
+//
+// The engine exists so that new design questions — "which policy wins on a
+// bursty scientific workload as load grows?" — can be posed by writing a spec
+// file instead of a new Go experiment (see examples/scenarios/).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"atlarge/internal/cluster"
+	"atlarge/internal/sched"
+	"atlarge/internal/trace"
+	"atlarge/internal/workload"
+)
+
+// SpecVersion is the schema version this build reads and writes.
+const SpecVersion = 1
+
+// Spec is one declarative what-if specification.
+type Spec struct {
+	// Version is the schema version; must equal SpecVersion.
+	Version int `json:"version"`
+	// Name identifies the scenario family in reports and cell IDs.
+	Name string `json:"name"`
+	// Workload names the workload under study.
+	Workload WorkloadSpec `json:"workload"`
+	// Cluster names the execution environment shape.
+	Cluster ClusterSpec `json:"cluster"`
+	// Policy is the scheduling policy (see sched.PolicyNames) or
+	// "portfolio" for the portfolio scheduler over the default policy set.
+	Policy string `json:"policy,omitempty"`
+	// Replicas is the default replica count (CLI --replicas overrides);
+	// 0 means 1.
+	Replicas int `json:"replicas,omitempty"`
+	// Seed is the base seed for per-(scenario, replica) seed derivation
+	// (CLI --seed overrides).
+	Seed int64 `json:"seed,omitempty"`
+	// Objective selects the metric used for best-cell highlighting;
+	// default "mean_response_s".
+	Objective string `json:"objective,omitempty"`
+	// Sweep maps axis names to value lists; the cross-product over the
+	// axes (in lexicographic axis-name order) is the set of concrete
+	// scenarios. See AxisNames for the accepted axes.
+	Sweep map[string][]any `json:"sweep,omitempty"`
+
+	// dir is the directory the spec was loaded from, for resolving
+	// relative trace paths; empty when parsed from a reader.
+	dir string
+	// traceOnce/traceCache/traceErr memoize the parsed workload trace, so
+	// a sweep of N cells × R replicas reads and parses the file once; each
+	// run gets a deep copy (load rescaling mutates submission times).
+	traceOnce  sync.Once
+	traceCache *workload.Trace
+	traceErr   error
+}
+
+// WorkloadSpec names a workload: either a generated class or a GWA trace.
+type WorkloadSpec struct {
+	// Class is a Table 9 workload class (see workload.ClassNames).
+	// Mutually exclusive with Trace.
+	Class string `json:"class,omitempty"`
+	// Jobs is the number of generated jobs; 0 means 100. Ignored with
+	// Trace.
+	Jobs int `json:"jobs,omitempty"`
+	// Arrival overrides the class's calibrated arrival process.
+	Arrival *ArrivalSpec `json:"arrival,omitempty"`
+	// Trace imports a GWA-style CSV job trace (trace.ReadJobs) instead of
+	// generating; relative paths resolve against the spec file location.
+	Trace string `json:"trace,omitempty"`
+	// Load, when positive, rescales submission times so the offered load
+	// (total CPU-seconds ÷ (cores × submission span)) hits this target.
+	Load float64 `json:"load,omitempty"`
+}
+
+// ArrivalSpec names an arrival process with optional parameter overrides.
+type ArrivalSpec struct {
+	// Process is an arrival family name (see workload.ArrivalNames).
+	Process string `json:"process"`
+	// Params overrides family defaults ("rate", "k", "spike", ...).
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// ClusterSpec names an environment shape.
+type ClusterSpec struct {
+	// Kind is a Table 9 environment kind (see cluster.KindNames);
+	// empty means CL.
+	Kind string `json:"kind,omitempty"`
+	// Sites/Machines/Cores override the shape; all zero means the
+	// calibrated cluster.StandardEnvironment for the kind. A partial
+	// override fills the unset dimensions from the kind's standard shape.
+	Sites    int `json:"sites,omitempty"`
+	Machines int `json:"machines,omitempty"`
+	Cores    int `json:"cores,omitempty"`
+}
+
+// PolicyPortfolio is the Policy value that selects the portfolio scheduler.
+const PolicyPortfolio = "portfolio"
+
+// Parse decodes a spec from r. Unknown fields are rejected so typos in spec
+// files surface as errors instead of silently-ignored settings.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	return &s, nil
+}
+
+// Load reads and parses a spec file. Relative workload trace paths resolve
+// against the file's directory.
+func Load(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	s.dir = filepath.Dir(path)
+	return s, nil
+}
+
+// tracePath resolves the workload trace path against the spec location.
+func (s *Spec) tracePath() string {
+	if s.Workload.Trace == "" || filepath.IsAbs(s.Workload.Trace) || s.dir == "" {
+		return s.Workload.Trace
+	}
+	return filepath.Join(s.dir, s.Workload.Trace)
+}
+
+// objective returns the highlight metric, defaulted.
+func (s *Spec) objective() string {
+	if s.Objective == "" {
+		return MetricMeanResponse
+	}
+	return s.Objective
+}
+
+// Validate checks the whole spec — base fields, every sweep axis, and every
+// swept value — and reports every problem it finds as one joined error, so a
+// malformed spec can be fixed in a single pass.
+func (s *Spec) Validate() error {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if s.Version != SpecVersion {
+		bad("version: got %d, this build supports version %d", s.Version, SpecVersion)
+	}
+	if s.Name == "" {
+		bad(`name: required (used in report headers and scenario IDs, e.g. "policy-vs-load")`)
+	}
+
+	s.validateWorkload(bad)
+	s.validateCluster(bad)
+	s.validatePolicy(bad)
+
+	if s.Replicas < 0 {
+		bad("replicas: got %d, must be >= 0 (0 means 1)", s.Replicas)
+	}
+	s.validateObjective(bad)
+	s.validateSweep(bad)
+
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("scenario: invalid spec %q:\n  - %s", s.Name, strings.Join(problems, "\n  - "))
+}
+
+func (s *Spec) validateWorkload(bad func(string, ...any)) {
+	w := s.Workload
+	swept := func(axis string) bool { _, ok := s.Sweep[axis]; return ok }
+	switch {
+	case w.Trace != "" && w.Class != "":
+		bad("workload: class and trace are mutually exclusive; set exactly one")
+	case w.Trace == "" && w.Class == "" && !swept("class"):
+		bad("workload: set class (known: %s) or trace (GWA CSV path), or sweep over class",
+			strings.Join(workload.ClassNames(), ", "))
+	}
+	if w.Trace != "" {
+		// An imported trace fixes the job set: generator settings would be
+		// silently ignored, and sweeping them would compare identical cells.
+		if w.Arrival != nil {
+			bad("workload: trace and arrival are mutually exclusive (the trace fixes the arrivals)")
+		}
+		if w.Jobs != 0 {
+			bad("workload: trace and jobs are mutually exclusive (the trace fixes the job count)")
+		}
+		for _, axis := range []string{"class", "arrival", "jobs"} {
+			if swept(axis) {
+				bad("workload: trace is mutually exclusive with sweeping over %s; drop one", axis)
+			}
+		}
+	}
+	if w.Class != "" {
+		if _, err := workload.ClassByName(w.Class); err != nil {
+			bad("workload.class: %v", err)
+		}
+	}
+	if w.Trace != "" {
+		if _, err := os.Stat(s.tracePath()); err != nil {
+			bad("workload.trace: %v", err)
+		}
+	}
+	if w.Jobs < 0 {
+		bad("workload.jobs: got %d, must be >= 0 (0 means %d)", w.Jobs, defaultJobs)
+	}
+	if w.Load < 0 {
+		bad("workload.load: got %g, must be >= 0 (0 means arrivals as generated)", w.Load)
+	}
+	if w.Arrival != nil {
+		if _, err := workload.ArrivalsByName(w.Arrival.Process, w.Arrival.Params); err != nil {
+			bad("workload.arrival: %v", err)
+		}
+	}
+}
+
+func (s *Spec) validateCluster(bad func(string, ...any)) {
+	c := s.Cluster
+	if c.Kind != "" {
+		if _, err := cluster.KindByName(c.Kind); err != nil {
+			bad("cluster.kind: %v", err)
+		}
+	}
+	for _, dim := range []struct {
+		name string
+		v    int
+	}{{"sites", c.Sites}, {"machines", c.Machines}, {"cores", c.Cores}} {
+		if dim.v < 0 {
+			bad("cluster.%s: got %d, must be >= 0 (0 means the kind's standard shape)", dim.name, dim.v)
+		}
+	}
+}
+
+func (s *Spec) validatePolicy(bad func(string, ...any)) {
+	if s.Policy == "" {
+		if _, ok := s.Sweep["policy"]; !ok {
+			bad("policy: required unless swept (known: %s, or %q)",
+				strings.Join(sched.PolicyNames(), ", "), PolicyPortfolio)
+		}
+		return
+	}
+	if err := validPolicy(s.Policy); err != nil {
+		bad("policy: %v", err)
+	}
+}
+
+// isPortfolio matches the portfolio policy name case-insensitively, like
+// every other name lookup.
+func isPortfolio(name string) bool { return strings.EqualFold(name, PolicyPortfolio) }
+
+func validPolicy(name string) error {
+	if isPortfolio(name) {
+		return nil
+	}
+	if _, err := sched.PolicyByName(name); err != nil {
+		return fmt.Errorf("unknown policy %q (known: %s, or %q)",
+			name, strings.Join(sched.PolicyNames(), ", "), PolicyPortfolio)
+	}
+	return nil
+}
+
+// validateObjective checks the highlight metric exists and is emitted by
+// every policy the spec runs — otherwise best-cell highlighting would
+// silently produce nothing.
+func (s *Spec) validateObjective(bad func(string, ...any)) {
+	obj := s.objective()
+	if !knownMetric(obj) {
+		bad("objective: unknown metric %q (known: %s)", obj, strings.Join(MetricNames(), ", "))
+		return
+	}
+	// Collect every (valid) policy some cell will actually run: the swept
+	// values when the policy axis is swept (it overrides the base in every
+	// cell), the base policy otherwise.
+	policies := []string{}
+	if swept, ok := s.Sweep["policy"]; ok {
+		for _, v := range swept {
+			if name, ok := v.(string); ok && validPolicy(name) == nil {
+				policies = append(policies, name)
+			}
+		}
+	} else if s.Policy != "" {
+		policies = append(policies, s.Policy)
+	}
+	for _, p := range policies {
+		emitted := simulatorMetrics
+		if isPortfolio(p) {
+			emitted = portfolioMetrics
+		}
+		if !emitted[obj] {
+			names := make([]string, 0, len(emitted))
+			for name := range emitted {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			bad("objective: policy %q does not emit %q (it emits: %s)", p, obj, strings.Join(names, ", "))
+		}
+	}
+}
+
+// defaultJobs is the generated job count when the spec leaves it unset.
+const defaultJobs = 100
+
+// loadTrace returns a fresh deep copy of the spec's GWA trace; the file is
+// read and parsed once per spec, however many cells and replicas run it.
+func (s *Spec) loadTrace() (*workload.Trace, error) {
+	s.traceOnce.Do(func() {
+		f, err := os.Open(s.tracePath())
+		if err != nil {
+			s.traceErr = fmt.Errorf("scenario: %w", err)
+			return
+		}
+		defer f.Close()
+		tr, err := trace.ReadJobs(f)
+		if err != nil {
+			s.traceErr = fmt.Errorf("scenario: %s: %w", s.tracePath(), err)
+			return
+		}
+		s.traceCache = tr
+	})
+	if s.traceErr != nil {
+		return nil, s.traceErr
+	}
+	return s.traceCache.Clone(), nil
+}

@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"atlarge/internal/cluster"
+	"atlarge/internal/sched"
+	"atlarge/internal/workload"
+)
+
+// Param is one axis assignment of a concrete scenario, rendered as text.
+type Param struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// Scenario is one concrete cell of a sweep: a fully resolved workload,
+// cluster shape, and policy. Params records the axis assignments that
+// produced it (empty for an unswept spec).
+type Scenario struct {
+	spec     *Spec
+	Workload WorkloadSpec
+	Cluster  ClusterSpec
+	Policy   string
+	Params   []Param
+}
+
+// ID returns the stable scenario identifier used for seed derivation and in
+// reports: the spec name plus the ordered axis assignments.
+func (sc *Scenario) ID() string {
+	if len(sc.Params) == 0 {
+		return sc.spec.Name
+	}
+	parts := make([]string, len(sc.Params))
+	for i, p := range sc.Params {
+		parts[i] = p.Axis + "=" + p.Value
+	}
+	return sc.spec.Name + "/" + strings.Join(parts, ",")
+}
+
+// generationAxes are the sweep axes that feed the workload generator's RNG.
+// Axes outside this set (policy, load, cluster shape) are excluded from the
+// workload seed, so cells differing only in those axes face the identical
+// generated job set per replica — paired comparisons (common random
+// numbers), not cross-workload sampling noise.
+var generationAxes = map[string]bool{"class": true, "arrival": true, "jobs": true}
+
+// WorkloadID identifies the cell's generated workload: the spec name plus
+// only the generation-relevant axis assignments.
+func (sc *Scenario) WorkloadID() string {
+	var parts []string
+	for _, p := range sc.Params {
+		if generationAxes[p.Axis] {
+			parts = append(parts, p.Axis+"="+p.Value)
+		}
+	}
+	return sc.spec.Name + "/workload/" + strings.Join(parts, ",")
+}
+
+// axisDef describes one sweepable dimension: how to type-check a swept value
+// and how to apply it to a concrete scenario.
+type axisDef struct {
+	// check validates one swept value (type and name resolution).
+	check func(v any) error
+	// apply sets the value on the scenario and returns its rendering.
+	apply func(sc *Scenario, v any) string
+	// canon renders a valid value in canonical form for duplicate
+	// detection, so alias spellings ("sci"/"scientific") collide; nil
+	// means formatValue is already canonical.
+	canon func(v any) string
+}
+
+// axes is the catalog of sweepable dimensions.
+var axes = map[string]axisDef{
+	"policy": {
+		check: func(v any) error { return checkName(v, validPolicy) },
+		apply: func(sc *Scenario, v any) string {
+			sc.Policy = v.(string)
+			return v.(string)
+		},
+		// Resolve through the registry so any spelling sched accepts
+		// ("easy-bf", "EASYBF") collapses to one canonical name.
+		canon: func(v any) string {
+			if isPortfolio(v.(string)) {
+				return PolicyPortfolio
+			}
+			p, _ := sched.PolicyByName(v.(string))
+			return p.Name()
+		},
+	},
+	"class": {
+		check: func(v any) error {
+			return checkName(v, func(s string) error { _, err := workload.ClassByName(s); return err })
+		},
+		apply: func(sc *Scenario, v any) string {
+			sc.Workload.Class = v.(string)
+			sc.Workload.Trace = ""
+			return v.(string)
+		},
+		canon: func(v any) string {
+			c, _ := workload.ClassByName(v.(string))
+			return c.String()
+		},
+	},
+	"arrival": {
+		check: func(v any) error {
+			return checkName(v, func(s string) error { _, err := workload.ArrivalsByName(s, nil); return err })
+		},
+		canon: func(v any) string { return strings.ToLower(v.(string)) },
+		apply: func(sc *Scenario, v any) string {
+			name := v.(string)
+			// Keep the base spec's parameter overrides when it names the
+			// same family; other families start from their defaults.
+			params := map[string]float64(nil)
+			if a := sc.spec.Workload.Arrival; a != nil && strings.EqualFold(a.Process, name) {
+				params = a.Params
+			}
+			sc.Workload.Arrival = &ArrivalSpec{Process: name, Params: params}
+			return name
+		},
+	},
+	"load": {
+		check: func(v any) error { return checkFloat(v, 0) },
+		apply: func(sc *Scenario, v any) string {
+			sc.Workload.Load = v.(float64)
+			return formatValue(v)
+		},
+	},
+	"jobs": {
+		check: func(v any) error { return checkInt(v, 1) },
+		apply: func(sc *Scenario, v any) string {
+			sc.Workload.Jobs = int(v.(float64))
+			return formatValue(v)
+		},
+	},
+	"kind": {
+		check: func(v any) error {
+			return checkName(v, func(s string) error { _, err := cluster.KindByName(s); return err })
+		},
+		apply: func(sc *Scenario, v any) string {
+			sc.Cluster.Kind = v.(string)
+			return v.(string)
+		},
+		canon: func(v any) string {
+			k, _ := cluster.KindByName(v.(string))
+			return k.String()
+		},
+	},
+	"sites": {
+		check: func(v any) error { return checkInt(v, 1) },
+		apply: func(sc *Scenario, v any) string {
+			sc.Cluster.Sites = int(v.(float64))
+			return formatValue(v)
+		},
+	},
+	"machines": {
+		check: func(v any) error { return checkInt(v, 1) },
+		apply: func(sc *Scenario, v any) string {
+			sc.Cluster.Machines = int(v.(float64))
+			return formatValue(v)
+		},
+	},
+	"cores": {
+		check: func(v any) error { return checkInt(v, 1) },
+		apply: func(sc *Scenario, v any) string {
+			sc.Cluster.Cores = int(v.(float64))
+			return formatValue(v)
+		},
+	},
+}
+
+// AxisNames returns the sweepable axis names in sorted order.
+func AxisNames() []string {
+	out := make([]string, 0, len(axes))
+	for name := range axes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkName(v any, resolve func(string) error) error {
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("got %v (%T), want a name string", v, v)
+	}
+	return resolve(s)
+}
+
+func checkFloat(v any, min float64) error {
+	f, ok := v.(float64)
+	if !ok {
+		return fmt.Errorf("got %v (%T), want a number", v, v)
+	}
+	if f < min {
+		return fmt.Errorf("got %g, must be >= %g", f, min)
+	}
+	return nil
+}
+
+func checkInt(v any, min int) error {
+	f, ok := v.(float64)
+	if !ok {
+		return fmt.Errorf("got %v (%T), want an integer", v, v)
+	}
+	if f != float64(int(f)) || int(f) < min {
+		return fmt.Errorf("got %v, must be an integer >= %d", v, min)
+	}
+	return nil
+}
+
+// formatValue renders a swept value for IDs and reports; float formatting is
+// the shortest exact form, so IDs are stable.
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// maxCells bounds a single expansion; larger sweeps should be split.
+const maxCells = 4096
+
+// sweepAxes returns the spec's swept axis names in expansion order
+// (lexicographic, since JSON objects carry no order).
+func (s *Spec) sweepAxes() []string {
+	out := make([]string, 0, len(s.Sweep))
+	for name := range s.Sweep {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Spec) validateSweep(bad func(string, ...any)) {
+	cells := 1
+	for _, name := range s.sweepAxes() {
+		def, ok := axes[name]
+		if !ok {
+			bad("sweep.%s: unknown axis (known: %s)", name, strings.Join(AxisNames(), ", "))
+			continue
+		}
+		values := s.Sweep[name]
+		if len(values) == 0 {
+			bad("sweep.%s: empty value list", name)
+			continue
+		}
+		cells *= len(values)
+		seen := map[string]bool{}
+		for i, v := range values {
+			if err := def.check(v); err != nil {
+				bad("sweep.%s[%d]: %v", name, i, err)
+				continue
+			}
+			// Compare canonical forms so alias spellings ("sci" vs
+			// "scientific") count as duplicates too.
+			r := formatValue(v)
+			if def.canon != nil {
+				r = def.canon(v)
+			}
+			if seen[r] {
+				bad("sweep.%s[%d]: duplicate value %s", name, i, formatValue(v))
+			} else {
+				seen[r] = true
+			}
+		}
+	}
+	if cells > maxCells {
+		bad("sweep: expands to %d scenarios, max %d; split the sweep", cells, maxCells)
+	}
+}
+
+// Expand validates the spec and returns the cross-product of its sweep axes
+// as concrete scenarios, in deterministic order: axes expand in lexicographic
+// name order, values in declared order. A spec without a sweep expands to the
+// single base scenario.
+func Expand(s *Spec) ([]Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	base := Scenario{spec: s, Workload: s.Workload, Cluster: s.Cluster, Policy: s.Policy}
+	cells := []Scenario{base}
+	for _, name := range s.sweepAxes() {
+		def := axes[name]
+		next := make([]Scenario, 0, len(cells)*len(s.Sweep[name]))
+		for _, cell := range cells {
+			for _, v := range s.Sweep[name] {
+				nc := cell
+				nc.Params = append(append([]Param(nil), cell.Params...), Param{Axis: name})
+				rendered := def.apply(&nc, v)
+				nc.Params[len(nc.Params)-1].Value = rendered
+				next = append(next, nc)
+			}
+		}
+		cells = next
+	}
+	return cells, nil
+}
+
+// Single validates the spec and returns its base scenario; it rejects specs
+// with sweep axes, which need Expand.
+func Single(s *Spec) (*Scenario, error) {
+	if len(s.Sweep) > 0 {
+		return nil, fmt.Errorf("scenario: spec %q has sweep axes (%s); use 'scenario sweep'",
+			s.Name, strings.Join(s.sweepAxes(), ", "))
+	}
+	cells, err := Expand(s)
+	if err != nil {
+		return nil, err
+	}
+	return &cells[0], nil
+}

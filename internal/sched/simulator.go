@@ -423,13 +423,4 @@ func RunAll(envFactory func() *cluster.Environment, tr *workload.Trace, policies
 
 // cloneTrace deep-copies a trace so concurrent or repeated runs cannot share
 // task state.
-func cloneTrace(tr *workload.Trace) *workload.Trace {
-	cp := &workload.Trace{Name: tr.Name, Jobs: make([]*workload.Job, len(tr.Jobs))}
-	for i, j := range tr.Jobs {
-		nj := *j
-		nj.Tasks = make([]workload.Task, len(j.Tasks))
-		copy(nj.Tasks, j.Tasks)
-		cp.Jobs[i] = &nj
-	}
-	return cp
-}
+func cloneTrace(tr *workload.Trace) *workload.Trace { return tr.Clone() }

@@ -194,6 +194,25 @@ type Trace struct {
 	Jobs []*Job
 }
 
+// Clone deep-copies the trace (jobs, tasks, and task dependency lists), so
+// runs that mutate job state — submission rescaling, dependency remapping,
+// repeated simulations — cannot interfere.
+func (tr *Trace) Clone() *Trace {
+	cp := &Trace{Name: tr.Name, Jobs: make([]*Job, len(tr.Jobs))}
+	for i, j := range tr.Jobs {
+		nj := *j
+		nj.Tasks = make([]Task, len(j.Tasks))
+		copy(nj.Tasks, j.Tasks)
+		for ti := range nj.Tasks {
+			if deps := nj.Tasks[ti].Deps; len(deps) > 0 {
+				nj.Tasks[ti].Deps = append([]int(nil), deps...)
+			}
+		}
+		cp.Jobs[i] = &nj
+	}
+	return cp
+}
+
 // SortBySubmit orders jobs by submission time (stable).
 func (tr *Trace) SortBySubmit() {
 	sort.SliceStable(tr.Jobs, func(i, j int) bool { return tr.Jobs[i].Submit < tr.Jobs[j].Submit })

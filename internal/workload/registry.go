@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atlarge/internal/sim"
+)
+
+// arrivalBuilder constructs one arrival-process family from named parameters.
+type arrivalBuilder struct {
+	// params maps accepted parameter names to their defaults.
+	params map[string]float64
+	build  func(p map[string]float64) ArrivalProcess
+}
+
+// arrivalBuilders is the string-keyed catalog of arrival processes. Every
+// parameter is optional; defaults follow the calibrated generators above.
+var arrivalBuilders = map[string]arrivalBuilder{
+	"poisson": {
+		params: map[string]float64{"rate": 0.05},
+		build: func(p map[string]float64) ArrivalProcess {
+			return PoissonArrivals{Rate: p["rate"]}
+		},
+	},
+	"weibull": {
+		params: map[string]float64{"scale": 25, "k": 0.7},
+		build: func(p map[string]float64) ArrivalProcess {
+			return WeibullArrivals{Scale: p["scale"], K: p["k"]}
+		},
+	},
+	"diurnal": {
+		params: map[string]float64{"rate": 0.05, "period": 86400, "amplitude": 0.8},
+		build: func(p map[string]float64) ArrivalProcess {
+			return DiurnalArrivals{BaseRate: p["rate"], Period: sim.Duration(p["period"]), Amplitude: p["amplitude"]}
+		},
+	},
+	"flashcrowd": {
+		params: map[string]float64{"rate": 0.02, "start": 2000, "spike": 30, "halflife": 500},
+		build: func(p map[string]float64) ArrivalProcess {
+			return FlashcrowdArrivals{BaseRate: p["rate"], StartAt: sim.Time(p["start"]), Spike: p["spike"], HalfLife: sim.Duration(p["halflife"])}
+		},
+	},
+}
+
+// ArrivalsByName builds the named arrival process. params overrides the
+// family defaults; nil keeps every default. Unknown names and unknown
+// parameter keys are errors that list the accepted values.
+func ArrivalsByName(name string, params map[string]float64) (ArrivalProcess, error) {
+	b, ok := arrivalBuilders[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown arrival process %q (known: %s)", name, strings.Join(ArrivalNames(), ", "))
+	}
+	resolved := make(map[string]float64, len(b.params))
+	for k, v := range b.params {
+		resolved[k] = v
+	}
+	for k, v := range params {
+		if _, ok := b.params[strings.ToLower(k)]; !ok {
+			return nil, fmt.Errorf("workload: arrival process %q has no parameter %q (accepted: %s)",
+				name, k, strings.Join(arrivalParamNames(b), ", "))
+		}
+		resolved[strings.ToLower(k)] = v
+	}
+	return b.build(resolved), nil
+}
+
+// ArrivalNames returns the arrival-process names in sorted order.
+func ArrivalNames() []string {
+	out := make([]string, 0, len(arrivalBuilders))
+	for name := range arrivalBuilders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func arrivalParamNames(b arrivalBuilder) []string {
+	out := make([]string, 0, len(b.params))
+	for k := range b.params {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classNames maps accepted spellings (lower-cased) to workload classes: the
+// Table 9 acronyms plus the long names.
+var classNames = map[string]Class{
+	"syn":                  ClassSynthetic,
+	"synthetic":            ClassSynthetic,
+	"sci":                  ClassScientific,
+	"scientific":           ClassScientific,
+	"ce":                   ClassComputerEngineering,
+	"computer-engineering": ClassComputerEngineering,
+	"bc":                   ClassBusinessCritical,
+	"business-critical":    ClassBusinessCritical,
+	"bd":                   ClassBigData,
+	"big-data":             ClassBigData,
+	"g":                    ClassGaming,
+	"gaming":               ClassGaming,
+	"ind":                  ClassIndustrial,
+	"industrial":           ClassIndustrial,
+}
+
+// ClassByName resolves a workload class from its Table 9 acronym or long
+// name, case-insensitively.
+func ClassByName(name string) (Class, error) {
+	if c, ok := classNames[strings.ToLower(name)]; ok {
+		return c, nil
+	}
+	return 0, fmt.Errorf("workload: unknown class %q (known: %s)", name, strings.Join(ClassNames(), ", "))
+}
+
+// ClassNames returns the accepted class spellings in sorted order.
+func ClassNames() []string {
+	out := make([]string, 0, len(classNames))
+	for name := range classNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestArrivalsByNameDefaults(t *testing.T) {
+	for _, name := range ArrivalNames() {
+		ap, err := ArrivalsByName(name, nil)
+		if err != nil {
+			t.Fatalf("ArrivalsByName(%q): %v", name, err)
+		}
+		if ap.String() != name {
+			t.Errorf("ArrivalsByName(%q).String() = %q", name, ap.String())
+		}
+		// The built process must actually produce a valid arrival sequence.
+		times := ap.Times(20, rand.New(rand.NewSource(1)))
+		if len(times) != 20 {
+			t.Fatalf("%s: got %d times, want 20", name, len(times))
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				t.Fatalf("%s: arrival times decrease at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestArrivalsByNameParams(t *testing.T) {
+	ap, err := ArrivalsByName("poisson", map[string]float64{"rate": 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := ap.(PoissonArrivals); !ok || p.Rate != 2.5 {
+		t.Errorf("rate override not applied: %#v", ap)
+	}
+	ap, err = ArrivalsByName("flashcrowd", map[string]float64{"spike": 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := ap.(FlashcrowdArrivals)
+	if !ok || f.Spike != 80 {
+		t.Errorf("spike override not applied: %#v", ap)
+	}
+	if f.BaseRate != 0.02 {
+		t.Errorf("unset params should keep defaults, got rate %v", f.BaseRate)
+	}
+}
+
+func TestArrivalsByNameErrors(t *testing.T) {
+	if _, err := ArrivalsByName("pareto", nil); err == nil {
+		t.Error("unknown process accepted")
+	} else if !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error does not list catalog: %v", err)
+	}
+	if _, err := ArrivalsByName("poisson", map[string]float64{"spike": 3}); err == nil {
+		t.Error("unknown parameter accepted")
+	} else if !strings.Contains(err.Error(), "accepted: rate") {
+		t.Errorf("error does not list accepted params: %v", err)
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+	}{
+		{"Sci", ClassScientific},
+		{"scientific", ClassScientific},
+		{"SYN", ClassSynthetic},
+		{"big-data", ClassBigData},
+		{"bd", ClassBigData},
+		{"gaming", ClassGaming},
+		{"Ind", ClassIndustrial},
+	}
+	for _, c := range cases {
+		got, err := ClassByName(c.in)
+		if err != nil {
+			t.Errorf("ClassByName(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ClassByName(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ClassByName("hpc"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+// TestClassByNameRoundTrip pins that every class String() resolves back to
+// itself, so reports and specs can use the same spelling.
+func TestClassByNameRoundTrip(t *testing.T) {
+	for _, c := range []Class{
+		ClassSynthetic, ClassScientific, ClassComputerEngineering,
+		ClassBusinessCritical, ClassBigData, ClassGaming, ClassIndustrial,
+	} {
+		got, err := ClassByName(c.String())
+		if err != nil || got != c {
+			t.Errorf("ClassByName(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+}
+
+// TestTraceCloneIsolatesDeps pins that Clone deep-copies task dependency
+// lists, so dep remapping on a clone cannot corrupt the original.
+func TestTraceCloneIsolatesDeps(t *testing.T) {
+	orig := &Trace{Jobs: []*Job{{
+		ID: 1,
+		Tasks: []Task{
+			{ID: 1, JobID: 1, CPUs: 1, Runtime: 1},
+			{ID: 2, JobID: 1, CPUs: 1, Runtime: 1, Deps: []int{1}},
+		},
+	}}}
+	cp := orig.Clone()
+	cp.Jobs[0].Tasks[1].Deps[0] = 99
+	cp.Jobs[0].Submit = 123
+	if orig.Jobs[0].Tasks[1].Deps[0] != 1 {
+		t.Error("Clone shares Deps backing arrays with the original")
+	}
+	if orig.Jobs[0].Submit != 0 {
+		t.Error("Clone shares Job structs with the original")
+	}
+}
