@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short lint fmt vet bench run-all scenario-golden clean
+.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden clean
 
 all: build lint test
 
@@ -31,19 +31,39 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# The kernel hot-path benchmarks, measured long enough to gate on.
+BENCH_KERNEL = $(GO) test -run '^$$' -bench BenchmarkKernel -benchtime 1s ./internal/sim
+
+# Regenerate the committed perf baseline (run on the reference machine after
+# an intentional kernel change, and commit the result).
+bench-base:
+	$(BENCH_KERNEL) | $(GO) run ./cmd/bench2json -suite kernel-base > BENCH_base.json
+
+# Fail on a >20% ns/op regression of any kernel benchmark vs the committed
+# baseline. CI runs this on every push; baselines from different hardware
+# shift both sides of later comparisons together once regenerated. (A temp
+# file instead of a pipe so a failing benchmark run fails the target under
+# POSIX sh.)
+bench-compare:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(BENCH_KERNEL) > "$$tmp"; \
+	$(GO) run ./cmd/bench2json -compare BENCH_base.json -tolerance 0.20 < "$$tmp"
+
 run-all:
 	$(GO) run ./cmd/atlarge run --all --parallel 4
 
-# End-to-end determinism check of the scenario engine through the CLI: the
-# committed example sweep must produce byte-identical JSON at --parallel 1
-# and --parallel 8, matching the committed golden file.
+# End-to-end determinism check of the scenario engine through the CLI: each
+# committed golden sweep (one per pinned domain) must produce byte-identical
+# JSON at --parallel 1 and --parallel 8, matching the committed golden file.
 scenario-golden:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/atlarge scenario sweep examples/scenarios/policy-vs-load.json --replicas 3 --parallel 1 --format json > "$$tmp/p1.json"; \
-	$(GO) run ./cmd/atlarge scenario sweep examples/scenarios/policy-vs-load.json --replicas 3 --parallel 8 --format json > "$$tmp/p8.json"; \
-	cmp "$$tmp/p1.json" "$$tmp/p8.json"; \
-	cmp "$$tmp/p1.json" internal/scenario/testdata/policy-vs-load.golden.json; \
-	echo "scenario-golden: OK"
+	for spec in policy-vs-load autoscaler-vs-load; do \
+		$(GO) run ./cmd/atlarge scenario sweep examples/scenarios/$$spec.json --replicas 3 --parallel 1 --format json > "$$tmp/p1.json"; \
+		$(GO) run ./cmd/atlarge scenario sweep examples/scenarios/$$spec.json --replicas 3 --parallel 8 --format json > "$$tmp/p8.json"; \
+		cmp "$$tmp/p1.json" "$$tmp/p8.json"; \
+		cmp "$$tmp/p1.json" internal/scenario/testdata/$$spec.golden.json; \
+		echo "scenario-golden: $$spec OK"; \
+	done
 
 clean:
 	$(GO) clean ./...

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	atlarge list [-tag T] [--format text|json]
+//	atlarge list [-tag T] [--domains] [--format text|json]
 //	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]
-//	atlarge scenario validate <spec.json>
-//	atlarge scenario run <spec.json> [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
-//	atlarge scenario sweep <spec.json> [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
+//	atlarge scenario validate <spec.json> [--domain D]
+//	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
+//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
 //
 // Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
 //
@@ -19,8 +19,10 @@
 // scenario drives the declarative what-if engine (internal/scenario):
 // validate checks a spec and reports every problem, run executes an unswept
 // spec, and sweep expands the spec's axis lists into the cross-product of
-// concrete scenarios and renders the comparative report. See
-// examples/scenarios/ for runnable specs.
+// concrete scenarios and renders the comparative report. Specs name a
+// simulation domain (sched, autoscale, mmog — see `atlarge list --domains`);
+// --domain fills the domain of a spec that omits it, and otherwise must
+// match the spec's declaration. See examples/scenarios/ for runnable specs.
 package main
 
 import (
@@ -111,12 +113,16 @@ func runTo(w io.Writer, args []string) error {
 	case "list":
 		fs := newFlagSet("list")
 		tag := fs.String("tag", "", "only experiments carrying this tag")
+		domains := fs.Bool("domains", false, "list scenario domains instead of experiments")
 		format := fs.String("format", "text", "output format: text or json")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
 		if *format != "text" && *format != "json" {
 			return fmt.Errorf("unknown format %q (want text or json)", *format)
+		}
+		if *domains {
+			return listDomains(w, *format)
 		}
 		var entries []listEntry
 		for _, e := range atlarge.DefaultRegistry().Experiments() {
@@ -207,9 +213,43 @@ func runTo(w io.Writer, args []string) error {
 	}
 }
 
+// listDomains renders the scenario-domain catalog: every registered
+// simulator with its sweepable axes, metrics, and default objective.
+func listDomains(w io.Writer, format string) error {
+	type domainEntry struct {
+		Name             string               `json:"name"`
+		Axes             []string             `json:"axes"`
+		Metrics          []scenario.MetricDef `json:"metrics"`
+		DefaultObjective string               `json:"default_objective"`
+	}
+	var entries []domainEntry
+	for _, name := range scenario.DomainNames() {
+		d, err := scenario.DomainByName(name)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, domainEntry{
+			Name:             d.Name(),
+			Axes:             scenario.AxisNames(d),
+			Metrics:          d.Metrics(),
+			DefaultObjective: d.DefaultObjective(),
+		})
+	}
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entries)
+	}
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s\n  axes: %s\n  objective: %s (default)\n",
+			e.Name, strings.Join(e.Axes, " "), e.DefaultObjective)
+	}
+	return nil
+}
+
 // runScenario dispatches the scenario subcommands: validate, run, sweep.
 func runScenario(w io.Writer, args []string) error {
-	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]"
+	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]"
 	if len(args) == 0 {
 		return fmt.Errorf("%s", usage)
 	}
@@ -219,6 +259,7 @@ func runScenario(w io.Writer, args []string) error {
 	}
 	fs := newFlagSet("scenario " + sub)
 	var (
+		domain   = fs.String("domain", "", "simulation domain (fills a spec without one; must match a spec that declares one)")
 		seed     = fs.Int64("seed", 0, "base seed override (default: the spec's seed)")
 		parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		replicas = fs.Int("replicas", 0, "replicas per scenario (default: the spec's replicas)")
@@ -244,6 +285,18 @@ func runScenario(w io.Writer, args []string) error {
 	spec, err := scenario.Load(paths[0])
 	if err != nil {
 		return err
+	}
+	if *domain != "" {
+		if _, err := scenario.DomainByName(*domain); err != nil {
+			return err
+		}
+		switch {
+		case spec.Domain == "":
+			spec.Domain = *domain
+		case !strings.EqualFold(spec.Domain, *domain):
+			return fmt.Errorf("scenario: spec %q declares domain %q but --domain %s was given",
+				spec.Name, spec.Domain, *domain)
+		}
 	}
 
 	switch sub {

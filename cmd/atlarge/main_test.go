@@ -261,3 +261,97 @@ func TestScenarioSubcommandCheckedFirst(t *testing.T) {
 		t.Errorf("typoed subcommand not reported first: %v", err)
 	}
 }
+
+// TestListDomains pins the domain catalog listing in both formats.
+func TestListDomains(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"list", "--domains"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sched", "autoscale", "mmog", "axes:", "objective:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list --domains missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := runTo(&buf, []string{"list", "--domains", "--format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Name             string   `json:"name"`
+		Axes             []string `json:"axes"`
+		DefaultObjective string   `json:"default_objective"`
+		Metrics          []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("list --domains --format json: %v\n%s", err, buf.String())
+	}
+	if len(entries) != 3 || entries[0].Name != "autoscale" {
+		t.Fatalf("domain entries: %+v", entries)
+	}
+	if len(entries[0].Axes) == 0 || len(entries[0].Metrics) == 0 || entries[0].DefaultObjective == "" {
+		t.Errorf("autoscale entry incomplete: %+v", entries[0])
+	}
+}
+
+const (
+	autoscaleSweepSpec = "../../examples/scenarios/autoscaler-vs-load.json"
+	mmogSweepSpec      = "../../examples/scenarios/mmog-partitioners.json"
+)
+
+// TestScenarioDomainFlag pins the --domain semantics: it validates against
+// the registry, fills a spec without a domain, passes when it matches the
+// spec's declaration, and errors on a mismatch.
+func TestScenarioDomainFlag(t *testing.T) {
+	if err := runTo(&bytes.Buffer{}, []string{"scenario", "validate", autoscaleSweepSpec, "--domain", "autoscale"}); err != nil {
+		t.Errorf("matching --domain rejected: %v", err)
+	}
+	err := runTo(&bytes.Buffer{}, []string{"scenario", "validate", autoscaleSweepSpec, "--domain", "mmog"})
+	if err == nil || !strings.Contains(err.Error(), `declares domain "autoscale"`) {
+		t.Errorf("mismatched --domain: %v", err)
+	}
+	err = runTo(&bytes.Buffer{}, []string{"scenario", "validate", autoscaleSweepSpec, "--domain", "serverless"})
+	if err == nil || !strings.Contains(err.Error(), "unknown domain") {
+		t.Errorf("unknown --domain: %v", err)
+	}
+
+	// A spec without a domain field (version 2) is completed by the flag.
+	spec := filepath.Join(t.TempDir(), "nodomain.json")
+	src := `{"version": 2, "name": "nd", "mmog": {"partitioner": "aos", "entities": 60, "ticks": 3}}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTo(&bytes.Buffer{}, []string{"scenario", "validate", spec}); err == nil {
+		t.Error("domain-less v2 spec accepted without --domain")
+	}
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"scenario", "validate", spec, "--domain", "mmog"}); err != nil {
+		t.Errorf("--domain fill failed: %v", err)
+	}
+}
+
+// TestScenarioDomainSweepsParallelParity pins the acceptance criterion for
+// the new domains: byte-identical JSON sweeps at --parallel 1 and 8.
+func TestScenarioDomainSweepsParallelParity(t *testing.T) {
+	for _, tc := range []struct{ spec, domain string }{
+		{autoscaleSweepSpec, "autoscale"},
+		{mmogSweepSpec, "mmog"},
+	} {
+		render := func(parallel string) string {
+			var buf bytes.Buffer
+			args := []string{"scenario", "sweep", tc.spec, "--domain", tc.domain,
+				"--replicas", "2", "--parallel", parallel, "--format", "json"}
+			if err := runTo(&buf, args); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		}
+		if render("1") != render("8") {
+			t.Errorf("%s sweep JSON differs between --parallel 1 and --parallel 8", tc.domain)
+		}
+	}
+}

@@ -3,9 +3,15 @@
 // BENCH_*.json artifacts and the performance trajectory can be tracked
 // across commits.
 //
+// With -compare, it instead gates a run against a committed baseline record:
+// every benchmark present in both is checked, and any whose ns/op regressed
+// by more than -tolerance fails the command. This is the `make bench-compare`
+// guard that keeps kernel hot-path optimizations from silently eroding.
+//
 // Usage:
 //
 //	go test -bench=. -benchtime=1x ./... | bench2json -suite smoke > BENCH_smoke.json
+//	go test -bench=BenchmarkKernel ./internal/sim | bench2json -compare BENCH_base.json -tolerance 0.20
 package main
 
 import (
@@ -43,14 +49,16 @@ type output struct {
 
 func main() {
 	suite := flag.String("suite", "bench", "suite label stored in the record")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against instead of emitting a record")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs the baseline")
 	flag.Parse()
-	if err := run(*suite); err != nil {
+	if err := run(*suite, *compare, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite string) error {
+func run(suite, compare string, tolerance float64) error {
 	out := output{Suite: suite, Benchmarks: []measurement{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -76,9 +84,65 @@ func run(suite string) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	if compare != "" {
+		return compareBaseline(out, compare, tolerance)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// compareBaseline gates the parsed run against a committed baseline: any
+// benchmark present in both whose ns/op exceeds baseline × (1 + tolerance)
+// is a regression and fails the call. Benchmarks only on one side are
+// reported but do not fail, so adding or retiring a benchmark does not
+// require touching the baseline in the same commit.
+func compareBaseline(cur output, path string, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	key := func(m measurement) string { return m.Package + " " + m.Name }
+	baseline := make(map[string]measurement, len(base.Benchmarks))
+	for _, m := range base.Benchmarks {
+		baseline[key(m)] = m
+	}
+	var regressions []string
+	compared := 0
+	for _, m := range cur.Benchmarks {
+		b, ok := baseline[key(m)]
+		if !ok {
+			fmt.Printf("new       %-40s %12.0f ns/op (not in baseline)\n", m.Name, m.NsPerOp)
+			continue
+		}
+		compared++
+		delete(baseline, key(m))
+		ratio := m.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if m.NsPerOp > b.NsPerOp*(1+tolerance) {
+			verdict = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+				m.Name, b.NsPerOp, m.NsPerOp, (ratio-1)*100, tolerance*100))
+		}
+		fmt.Printf("%-9s %-40s %12.0f ns/op vs baseline %12.0f (%+.1f%%)\n",
+			verdict, m.Name, m.NsPerOp, b.NsPerOp, (ratio-1)*100)
+	}
+	for k := range baseline {
+		fmt.Printf("missing   %s (in baseline, not in this run)\n", k)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common with baseline %s", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%% vs %s:\n  %s",
+			len(regressions), tolerance*100, path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("bench-compare: OK (%d benchmark(s) within %.0f%% of %s)\n", compared, tolerance*100, path)
+	return nil
 }
 
 // parseBenchLine parses "BenchmarkName-8  100  12345 ns/op  456 B/op ...".

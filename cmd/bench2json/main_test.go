@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	m, ok := parseBenchLine("BenchmarkTable9Row-8   \t     100\t  12345 ns/op\t  456 B/op\t       7 allocs/op")
@@ -22,5 +28,55 @@ func TestParseBenchLine(t *testing.T) {
 	}
 	if _, ok := parseBenchLine("PASS"); ok {
 		t.Error("non-benchmark line accepted")
+	}
+}
+
+func writeBaseline(t *testing.T, out output) string {
+	t.Helper()
+	raw, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := output{Suite: "base", Benchmarks: []measurement{
+		{Package: "p", Name: "BenchmarkKernelSchedule-8", Iterations: 100, NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkKernelChurn-8", Iterations: 100, NsPerOp: 500},
+	}}
+	path := writeBaseline(t, base)
+
+	// Within tolerance (10% slower at 20% tolerance) passes.
+	cur := output{Benchmarks: []measurement{
+		{Package: "p", Name: "BenchmarkKernelSchedule-8", Iterations: 100, NsPerOp: 1100},
+		{Package: "p", Name: "BenchmarkKernelChurn-8", Iterations: 100, NsPerOp: 400},
+	}}
+	if err := compareBaseline(cur, path, 0.20); err != nil {
+		t.Errorf("10%% drift failed the 20%% gate: %v", err)
+	}
+
+	// A >20% regression fails and names the offender.
+	cur.Benchmarks[1].NsPerOp = 700
+	err := compareBaseline(cur, path, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkKernelChurn-8") {
+		t.Errorf("40%% regression passed the 20%% gate: %v", err)
+	}
+
+	// New benchmarks (absent from the baseline) do not fail the gate.
+	cur.Benchmarks[1].NsPerOp = 500
+	cur.Benchmarks = append(cur.Benchmarks, measurement{Package: "p", Name: "BenchmarkNew-8", NsPerOp: 9e9})
+	if err := compareBaseline(cur, path, 0.20); err != nil {
+		t.Errorf("new benchmark failed the gate: %v", err)
+	}
+
+	// Nothing in common is an error (the gate would be vacuous).
+	none := output{Benchmarks: []measurement{{Package: "q", Name: "BenchmarkOther-8", NsPerOp: 1}}}
+	if err := compareBaseline(none, path, 0.20); err == nil {
+		t.Error("disjoint benchmark sets passed the gate")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"atlarge/internal/sim"
 	"atlarge/internal/workload"
 )
 
@@ -13,12 +14,12 @@ type EngineKind int
 
 // Engine kinds.
 const (
-	// InVitro is the fine-grained engine: per-task execution, small time
-	// step, exact dependency tracking — the stand-in for the paper's DAS
-	// cluster emulation.
+	// InVitro is the fine-grained engine: per-task execution, exact
+	// dependency tracking and task completion times — the stand-in for the
+	// paper's DAS cluster emulation.
 	InVitro EngineKind = iota + 1
 	// InSilico is the independently coded coarse engine: per-job fluid work
-	// model and a large time step — the stand-in for the paper's simulator.
+	// model with processor sharing — the stand-in for the paper's simulator.
 	InSilico
 )
 
@@ -31,9 +32,16 @@ func (k EngineKind) String() string {
 }
 
 // EngineConfig parameterizes one elasticity run.
+//
+// Both engines are event-driven on the shared sim.Kernel: job arrivals, VM
+// boot completions, autoscaler evaluations, and task/job completions are
+// scheduled events at their exact virtual times. Step is the sampling cadence
+// of the supply/demand series (and of the core-seconds integral), kept so the
+// Herbst-style elasticity metrics remain comparable with the historical
+// fixed-timestep engines.
 type EngineConfig struct {
 	Kind         EngineKind
-	Step         float64 // simulation time step (s)
+	Step         float64 // supply/demand sampling cadence (s)
 	EvalInterval float64 // autoscaler period (s)
 	BootDelay    float64 // VM provisioning latency (s)
 	MaxCores     int     // provider capacity cap
@@ -60,7 +68,7 @@ type RunStats struct {
 	Autoscaler string
 	Engine     string
 
-	// Supply/Demand time series, one sample per step.
+	// Supply/Demand time series, one sample per Step.
 	Times  []float64
 	Supply []int
 	Demand []int
@@ -82,6 +90,8 @@ type vitroTask struct {
 	remaining float64
 	running   bool
 	depsLeft  int
+	// finishAt is the exact completion instant, set when the task starts.
+	finishAt float64
 }
 
 type silicoJob struct {
@@ -92,14 +102,8 @@ type silicoJob struct {
 	start    float64
 }
 
-// bootingVM tracks capacity that was requested but is not usable yet.
-type bootingVM struct {
-	readyAt float64
-	cores   int
-}
-
 // Run executes the trace under the autoscaler and returns statistics.
-// The run ends when all jobs complete (plus one final step).
+// The run ends when all jobs complete.
 func Run(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, error) {
 	if cfg.Step <= 0 || cfg.EvalInterval <= 0 || cfg.CorePerVM <= 0 {
 		return nil, fmt.Errorf("autoscale: bad config %+v", cfg)
@@ -114,187 +118,257 @@ func Run(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, error)
 	}
 }
 
-// runVitro is the fine-grained task-level engine.
-func runVitro(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, error) {
-	st := &RunStats{Autoscaler: as.Name(), Engine: cfg.Kind.String()}
-	failRand := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-
+// sortedJobs validates and orders the trace by submission time.
+func sortedJobs(tr *workload.Trace, validate bool) ([]*workload.Job, error) {
 	jobs := append([]*workload.Job(nil), tr.Jobs...)
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Submit < jobs[j].Submit })
+	if validate {
+		for _, j := range jobs {
+			if err := j.ValidateDAG(); err != nil {
+				return nil, fmt.Errorf("autoscale: %w", err)
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// vitroState is the event-driven fine-grained engine: per-task execution on
+// the shared simulation kernel. Arrivals fire at exact submit times, VM boots
+// complete one BootDelay after the autoscaler requested them, tasks finish at
+// their exact remaining-runtime instants, and the autoscaler is an
+// EvalInterval-periodic event. A Step-periodic sampling event records the
+// supply/demand series.
+type vitroState struct {
+	cfg      EngineConfig
+	as       Autoscaler
+	st       *RunStats
+	failRand *rand.Rand
+
+	jobs       []*workload.Job
+	arrived    int
+	tasks      map[int]*vitroTask
+	dependents map[int][]int
+	ready      []*vitroTask
+	running    []*vitroTask
+	usedCores  int // cores held by running tasks
+	readyCores int // cores wanted by ready tasks
+	cores      int // booted cores
+	booting    int // cores requested but not usable yet
+	history    []int
+	jobLeft    map[int]int
+	jobStart   map[int]float64
+	jobSubmit  map[int]float64
+
+	evalRef   sim.EventRef
+	sampleRef sim.EventRef
+	finished  bool
+}
+
+func runVitro(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, error) {
+	jobs, err := sortedJobs(tr, true)
+	if err != nil {
+		return nil, err
+	}
+	v := &vitroState{
+		cfg:        cfg,
+		as:         as,
+		st:         &RunStats{Autoscaler: as.Name(), Engine: cfg.Kind.String()},
+		failRand:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		jobs:       jobs,
+		tasks:      map[int]*vitroTask{},
+		dependents: map[int][]int{},
+		jobLeft:    map[int]int{},
+		jobStart:   map[int]float64{},
+		jobSubmit:  map[int]float64{},
+	}
+
+	if len(jobs) == 0 {
+		return v.st, nil
+	}
+	k := sim.NewKernel(cfg.Seed)
+	// Arrivals are scheduled up front with the lowest sequence numbers, so a
+	// job submitted exactly at an evaluation instant is admitted before the
+	// autoscaler observes demand — the admission order of the historical
+	// step-driven engine.
 	for _, j := range jobs {
-		if err := j.ValidateDAG(); err != nil {
-			return nil, fmt.Errorf("autoscale: %w", err)
+		j := j
+		k.At(sim.Time(j.Submit), "arrive", func(k *sim.Kernel) { v.arrive(k, j) })
+	}
+	v.evalRef = k.At(0, "eval", v.eval)
+	v.sampleRef = k.At(0, "sample", v.sample)
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("autoscale: %w", err)
+	}
+	if !v.finished {
+		v.st.Horizon = float64(k.Now())
+	}
+	return v.st, nil
+}
+
+// arrive admits one job: its tasks join the dependency graph and its root
+// tasks become ready.
+func (v *vitroState) arrive(k *sim.Kernel, j *workload.Job) {
+	v.arrived++
+	v.jobLeft[j.ID] = len(j.Tasks)
+	v.jobSubmit[j.ID] = float64(j.Submit)
+	for i := range j.Tasks {
+		t := &j.Tasks[i]
+		vt := &vitroTask{task: t, job: j, remaining: float64(t.Runtime), depsLeft: len(t.Deps)}
+		v.tasks[t.ID] = vt
+		for _, d := range t.Deps {
+			v.dependents[d] = append(v.dependents[d], t.ID)
+		}
+		if vt.depsLeft == 0 {
+			v.ready = append(v.ready, vt)
+			v.readyCores += t.CPUs
 		}
 	}
+	v.dispatch(k)
+	v.checkDone(k) // a job with no tasks must not stall the run
+}
 
-	var (
-		now        float64
-		nextEval   float64
-		arrived    int
-		tasks      = map[int]*vitroTask{} // task ID -> state
-		dependents = map[int][]int{}      // task ID -> dependent task IDs
-		ready      []*vitroTask
-		running    []*vitroTask
-		cores      int // booted cores
-		booting    []bootingVM
-		history    []int
-		jobLeft    = map[int]int{}
-		jobStart   = map[int]float64{}
-		jobSubmit  = map[int]float64{}
-	)
-
-	done := func() bool {
-		return arrived == len(jobs) && len(ready) == 0 && len(running) == 0
+// dispatch starts ready tasks FCFS onto free booted cores, scheduling their
+// exact completion events.
+func (v *vitroState) dispatch(k *sim.Kernel) {
+	free := v.cores - v.usedCores
+	var stillReady []*vitroTask
+	for i, vt := range v.ready {
+		if vt.task.CPUs <= free {
+			free -= vt.task.CPUs
+			v.readyCores -= vt.task.CPUs
+			v.usedCores += vt.task.CPUs
+			vt.running = true
+			vt.finishAt = float64(k.Now()) + vt.remaining
+			v.running = append(v.running, vt)
+			if _, ok := v.jobStart[vt.job.ID]; !ok {
+				v.jobStart[vt.job.ID] = float64(k.Now())
+			}
+			vt := vt
+			k.After(sim.Duration(vt.remaining), "task-done", func(k *sim.Kernel) { v.complete(k, vt) })
+		} else {
+			stillReady = append(stillReady, v.ready[i])
+		}
 	}
+	v.ready = stillReady
+}
 
-	for !done() {
-		// Admit arrivals.
-		for arrived < len(jobs) && float64(jobs[arrived].Submit) <= now {
-			j := jobs[arrived]
-			arrived++
-			jobLeft[j.ID] = len(j.Tasks)
-			jobSubmit[j.ID] = float64(j.Submit)
-			for i := range j.Tasks {
-				t := &j.Tasks[i]
-				vt := &vitroTask{task: t, job: j, remaining: float64(t.Runtime), depsLeft: len(t.Deps)}
-				tasks[t.ID] = vt
-				for _, d := range t.Deps {
-					dependents[d] = append(dependents[d], t.ID)
-				}
-				if vt.depsLeft == 0 {
-					ready = append(ready, vt)
-				}
-			}
+// complete finishes one task: dependents may become ready, the job may
+// finish, and freed cores are re-dispatched.
+func (v *vitroState) complete(k *sim.Kernel, vt *vitroTask) {
+	now := float64(k.Now())
+	vt.running = false
+	vt.remaining = 0
+	v.usedCores -= vt.task.CPUs
+	for i, rt := range v.running {
+		if rt == vt {
+			v.running = append(v.running[:i], v.running[i+1:]...)
+			break
 		}
-
-		// Boot completions.
-		var stillBooting []bootingVM
-		for _, b := range booting {
-			if b.readyAt <= now {
-				cores += b.cores
-			} else {
-				stillBooting = append(stillBooting, b)
-			}
+	}
+	for _, depID := range v.dependents[vt.task.ID] {
+		dt := v.tasks[depID]
+		dt.depsLeft--
+		if dt.depsLeft == 0 {
+			v.ready = append(v.ready, dt)
+			v.readyCores += dt.task.CPUs
 		}
-		booting = stillBooting
+	}
+	v.jobLeft[vt.job.ID]--
+	if v.jobLeft[vt.job.ID] == 0 {
+		finishJob(v.st, vt.job, v.jobSubmit[vt.job.ID], v.jobStart[vt.job.ID], now)
+	}
+	v.dispatch(k)
+	v.checkDone(k)
+}
 
-		// Demand: running + ready cores.
-		usedCores := 0
-		for _, rt := range running {
-			usedCores += rt.task.CPUs
-		}
-		demand := usedCores
-		for _, vt := range ready {
-			demand += vt.task.CPUs
-		}
+// done reports whether all work has been admitted and completed.
+func (v *vitroState) done() bool {
+	return v.arrived == len(v.jobs) && len(v.ready) == 0 && len(v.running) == 0
+}
 
-		// Autoscaler evaluation.
-		if now >= nextEval {
-			nextEval = now + cfg.EvalInterval
-			history = append(history, demand)
-			obs := Observation{
-				Now:          now,
-				Demand:       demand,
-				Supply:       cores + bootingCores(booting),
-				History:      history,
-				BootDelay:    cfg.BootDelay,
-				EvalInterval: cfg.EvalInterval,
-			}
-			if as.WorkflowAware() {
-				obs.SoonEligible = soonEligible(running, dependents, tasks, cfg.BootDelay)
-			}
-			target := as.Target(obs)
-			if target > cfg.MaxCores {
-				target = cfg.MaxCores
-			}
-			current := cores + bootingCores(booting)
-			if target > current {
-				need := target - current
-				vms := (need + cfg.CorePerVM - 1) / cfg.CorePerVM
-				for v := 0; v < vms; v++ {
-					// Failure injection: the request may be silently lost.
-					if cfg.BootFailureRate > 0 && failRand.Float64() < cfg.BootFailureRate {
-						continue
-					}
-					booting = append(booting, bootingVM{readyAt: now + cfg.BootDelay, cores: cfg.CorePerVM})
-				}
-			} else if target < current {
-				// Deprovision idle booted cores only (running tasks keep theirs).
-				idle := cores - usedCores
-				drop := current - target
-				if drop > idle {
-					drop = idle
-				}
-				cores -= drop
-			}
-		}
+// checkDone ends the run by cancelling the periodic events once no work
+// remains; the kernel then drains and Run returns.
+func (v *vitroState) checkDone(k *sim.Kernel) {
+	if v.finished || !v.done() {
+		return
+	}
+	v.finished = true
+	v.st.Horizon = float64(k.Now())
+	v.evalRef.Cancel()
+	v.sampleRef.Cancel()
+}
 
-		// Dispatch ready tasks FCFS onto free cores.
-		free := cores - usedCores
-		var stillReady []*vitroTask
-		for _, vt := range ready {
-			if vt.task.CPUs <= free {
-				free -= vt.task.CPUs
-				vt.running = true
-				running = append(running, vt)
-				if _, ok := jobStart[vt.job.ID]; !ok {
-					jobStart[vt.job.ID] = now
-				}
-			} else {
-				stillReady = append(stillReady, vt)
-			}
-		}
-		ready = stillReady
+// demand is the number of cores wanted right now.
+func (v *vitroState) demand() int { return v.usedCores + v.readyCores }
 
-		// Record series.
-		st.Times = append(st.Times, now)
-		st.Supply = append(st.Supply, cores+bootingCores(booting))
-		st.Demand = append(st.Demand, demand)
-		st.CoreSeconds += float64(cores) * cfg.Step
-
-		// Advance running tasks.
-		now += cfg.Step
-		var stillRunning []*vitroTask
-		for _, rt := range running {
-			rt.remaining -= cfg.Step
-			if rt.remaining > 1e-9 {
-				stillRunning = append(stillRunning, rt)
+// eval is the periodic autoscaler evaluation: observe, retarget, provision
+// (with failure injection) or deprovision idle capacity.
+func (v *vitroState) eval(k *sim.Kernel) {
+	now := float64(k.Now())
+	demand := v.demand()
+	v.history = append(v.history, demand)
+	obs := Observation{
+		Now:          now,
+		Demand:       demand,
+		Supply:       v.cores + v.booting,
+		History:      v.history,
+		BootDelay:    v.cfg.BootDelay,
+		EvalInterval: v.cfg.EvalInterval,
+	}
+	if v.as.WorkflowAware() {
+		obs.SoonEligible = soonEligibleEvent(v.running, v.dependents, v.tasks, float64(k.Now()), v.cfg.BootDelay)
+	}
+	target := v.as.Target(obs)
+	if target > v.cfg.MaxCores {
+		target = v.cfg.MaxCores
+	}
+	current := v.cores + v.booting
+	if target > current {
+		need := target - current
+		vms := (need + v.cfg.CorePerVM - 1) / v.cfg.CorePerVM
+		for i := 0; i < vms; i++ {
+			// Failure injection: the request may be silently lost.
+			if v.cfg.BootFailureRate > 0 && v.failRand.Float64() < v.cfg.BootFailureRate {
 				continue
 			}
-			// Completed.
-			for _, depID := range dependents[rt.task.ID] {
-				dt := tasks[depID]
-				dt.depsLeft--
-				if dt.depsLeft == 0 {
-					ready = append(ready, dt)
-				}
-			}
-			jobLeft[rt.job.ID]--
-			if jobLeft[rt.job.ID] == 0 {
-				finishJob(st, rt.job, jobSubmit[rt.job.ID], jobStart[rt.job.ID], now)
-			}
+			v.booting += v.cfg.CorePerVM
+			k.After(sim.Duration(v.cfg.BootDelay), "vm-boot", v.bootDone)
 		}
-		running = stillRunning
+	} else if target < current {
+		// Deprovision idle booted cores only (running tasks keep theirs).
+		idle := v.cores - v.usedCores
+		drop := current - target
+		if drop > idle {
+			drop = idle
+		}
+		v.cores -= drop
 	}
-	st.Horizon = now
-	return st, nil
+	v.evalRef = k.After(sim.Duration(v.cfg.EvalInterval), "eval", v.eval)
 }
 
-// bootingCores sums cores still provisioning.
-func bootingCores(bs []bootingVM) int {
-	n := 0
-	for _, b := range bs {
-		n += b.cores
-	}
-	return n
+// bootDone lands one VM's cores and dispatches onto them.
+func (v *vitroState) bootDone(k *sim.Kernel) {
+	v.booting -= v.cfg.CorePerVM
+	v.cores += v.cfg.CorePerVM
+	v.dispatch(k)
 }
 
-// soonEligible counts cores of tasks whose last dependency finishes within
-// horizon, estimated from remaining runtimes.
-func soonEligible(running []*vitroTask, dependents map[int][]int, tasks map[int]*vitroTask, horizon float64) int {
+// sample records one point of the supply/demand series and accumulates the
+// provisioned-capacity integral.
+func (v *vitroState) sample(k *sim.Kernel) {
+	v.st.Times = append(v.st.Times, float64(k.Now()))
+	v.st.Supply = append(v.st.Supply, v.cores+v.booting)
+	v.st.Demand = append(v.st.Demand, v.demand())
+	v.st.CoreSeconds += float64(v.cores) * v.cfg.Step
+	v.sampleRef = k.After(sim.Duration(v.cfg.Step), "sample", v.sample)
+}
+
+// soonEligibleEvent counts cores of tasks whose last dependency finishes
+// within horizon, from the exact completion times of running tasks.
+func soonEligibleEvent(running []*vitroTask, dependents map[int][]int, tasks map[int]*vitroTask, now, horizon float64) int {
 	cores := 0
 	for _, rt := range running {
-		if rt.remaining > horizon {
+		if rt.finishAt-now > horizon {
 			continue
 		}
 		for _, depID := range dependents[rt.task.ID] {
@@ -327,133 +401,240 @@ func finishJob(st *RunStats, j *workload.Job, submit, start, now float64) {
 	st.JobsDone++
 }
 
-// runSilico is the independently coded coarse engine: each job is a fluid
-// amount of CPU-work with a parallelism cap; no per-task tracking.
+// silicoWidth is the coarse engine's fluid parallelism cap for a job.
+func silicoWidth(j *workload.Job) int {
+	w := 0
+	for _, t := range j.Tasks {
+		w += t.CPUs
+	}
+	// Fluid approximation: at most half the total task cores are usable
+	// concurrently (levels constrain workflows).
+	if j.IsWorkflow() {
+		w = (w + 1) / 2
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// silicoState is the event-driven coarse engine: each job is a fluid amount
+// of CPU-work drained by processor sharing. Between events the share of every
+// active job is constant, so the earliest zero-crossing of any job's
+// remaining work is an exact, schedulable completion instant; arrivals,
+// boots, and evaluations change the shares and reschedule it.
+type silicoState struct {
+	cfg EngineConfig
+	as  Autoscaler
+	st  *RunStats
+
+	jobs    []*workload.Job
+	arrived int
+	active  []*silicoJob
+	cores   int
+	booting int
+	history []int
+
+	lastAdvance   float64
+	completionRef sim.EventRef
+	evalRef       sim.EventRef
+	sampleRef     sim.EventRef
+	finished      bool
+}
+
 func runSilico(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, error) {
-	st := &RunStats{Autoscaler: as.Name(), Engine: cfg.Kind.String()}
-
-	jobs := append([]*workload.Job(nil), tr.Jobs...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Submit < jobs[j].Submit })
-
-	var (
-		now      float64
-		nextEval float64
-		arrived  int
-		active   []*silicoJob
-		cores    int
-		booting  []bootingVM
-		history  []int
-	)
-
-	width := func(j *workload.Job) int {
-		w := 0
-		for _, t := range j.Tasks {
-			w += t.CPUs
-		}
-		// Fluid approximation: at most half the total task cores are usable
-		// concurrently (levels constrain workflows).
-		if j.IsWorkflow() {
-			w = (w + 1) / 2
-		}
-		if w < 1 {
-			w = 1
-		}
-		return w
+	jobs, err := sortedJobs(tr, false)
+	if err != nil {
+		return nil, err
 	}
-
-	for arrived < len(jobs) || len(active) > 0 {
-		for arrived < len(jobs) && float64(jobs[arrived].Submit) <= now {
-			j := jobs[arrived]
-			arrived++
-			active = append(active, &silicoJob{job: j, workLeft: j.TotalWork(), width: width(j)})
-		}
-
-		var stillBooting []bootingVM
-		for _, b := range booting {
-			if b.readyAt <= now {
-				cores += b.cores
-			} else {
-				stillBooting = append(stillBooting, b)
-			}
-		}
-		booting = stillBooting
-
-		demand := 0
-		for _, sj := range active {
-			demand += sj.width
-		}
-
-		if now >= nextEval {
-			nextEval = now + cfg.EvalInterval
-			history = append(history, demand)
-			obs := Observation{
-				Now:          now,
-				Demand:       demand,
-				Supply:       cores + bootingCores(booting),
-				History:      history,
-				BootDelay:    cfg.BootDelay,
-				EvalInterval: cfg.EvalInterval,
-			}
-			if as.WorkflowAware() {
-				// The coarse engine approximates the eligible wave as 25% of
-				// outstanding width — an intentionally different model from
-				// the in-vitro engine.
-				obs.SoonEligible = demand / 4
-			}
-			target := as.Target(obs)
-			if target > cfg.MaxCores {
-				target = cfg.MaxCores
-			}
-			current := cores + bootingCores(booting)
-			if target > current {
-				need := target - current
-				vms := (need + cfg.CorePerVM - 1) / cfg.CorePerVM
-				for v := 0; v < vms; v++ {
-					booting = append(booting, bootingVM{readyAt: now + cfg.BootDelay, cores: cfg.CorePerVM})
-				}
-			} else if target < current && cores > 0 {
-				drop := current - target
-				if drop > cores {
-					drop = cores
-				}
-				cores -= drop
-			}
-		}
-
-		st.Times = append(st.Times, now)
-		st.Supply = append(st.Supply, cores+bootingCores(booting))
-		st.Demand = append(st.Demand, demand)
-		st.CoreSeconds += float64(cores) * cfg.Step
-
-		// Share cores proportionally by width, capped per job.
-		available := float64(cores)
-		var stillActive []*silicoJob
-		for _, sj := range active {
-			if !sj.started {
-				sj.started = true
-				sj.start = now
-			}
-			share := 0.0
-			if demand > 0 {
-				share = float64(cores) * float64(sj.width) / float64(demand)
-			}
-			if share > float64(sj.width) {
-				share = float64(sj.width)
-			}
-			if share > available {
-				share = available
-			}
-			available -= share
-			sj.workLeft -= share * cfg.Step
-			if sj.workLeft > 1e-9 {
-				stillActive = append(stillActive, sj)
-				continue
-			}
-			finishJob(st, sj.job, float64(sj.job.Submit), sj.start, now+cfg.Step)
-		}
-		active = stillActive
-		now += cfg.Step
+	s := &silicoState{
+		cfg:  cfg,
+		as:   as,
+		st:   &RunStats{Autoscaler: as.Name(), Engine: cfg.Kind.String()},
+		jobs: jobs,
 	}
-	st.Horizon = now
-	return st, nil
+	if len(jobs) == 0 {
+		return s.st, nil
+	}
+	k := sim.NewKernel(cfg.Seed)
+	for _, j := range jobs {
+		j := j
+		k.At(sim.Time(j.Submit), "arrive", func(k *sim.Kernel) { s.arrive(k, j) })
+	}
+	s.evalRef = k.At(0, "eval", s.eval)
+	s.sampleRef = k.At(0, "sample", s.sample)
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("autoscale: %w", err)
+	}
+	if !s.finished {
+		s.st.Horizon = float64(k.Now())
+	}
+	return s.st, nil
+}
+
+func (s *silicoState) demand() int {
+	d := 0
+	for _, sj := range s.active {
+		d += sj.width
+	}
+	return d
+}
+
+// shares returns the per-job core share under proportional sharing capped by
+// each job's width — the same allocation rule as the historical step engine,
+// applied to the instantaneous state.
+func (s *silicoState) shares() []float64 {
+	demand := s.demand()
+	available := float64(s.cores)
+	out := make([]float64, len(s.active))
+	for i, sj := range s.active {
+		share := 0.0
+		if demand > 0 {
+			share = float64(s.cores) * float64(sj.width) / float64(demand)
+		}
+		if share > float64(sj.width) {
+			share = float64(sj.width)
+		}
+		if share > available {
+			share = available
+		}
+		available -= share
+		out[i] = share
+	}
+	return out
+}
+
+// advanceTo drains fluid work at the shares that held since the last event.
+func (s *silicoState) advanceTo(now float64) {
+	dt := now - s.lastAdvance
+	if dt > 0 && len(s.active) > 0 {
+		for i, share := range s.shares() {
+			s.active[i].workLeft -= share * dt
+		}
+	}
+	s.lastAdvance = now
+}
+
+// reschedule recomputes the next exact job-completion instant from the
+// current shares and replaces the pending completion event.
+func (s *silicoState) reschedule(k *sim.Kernel) {
+	s.completionRef.Cancel()
+	shares := s.shares()
+	best := -1.0
+	for i, sj := range s.active {
+		// A drained job completes now even with a zero share.
+		if sj.workLeft <= 1e-6 {
+			best = 0
+			break
+		}
+		if shares[i] <= 0 {
+			continue
+		}
+		t := sj.workLeft / shares[i]
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	if best >= 0 {
+		s.completionRef = k.After(sim.Duration(best), "job-done", s.complete)
+	}
+}
+
+func (s *silicoState) arrive(k *sim.Kernel, j *workload.Job) {
+	now := float64(k.Now())
+	s.advanceTo(now)
+	s.arrived++
+	s.active = append(s.active, &silicoJob{
+		job: j, workLeft: j.TotalWork(), width: silicoWidth(j),
+		started: true, start: now,
+	})
+	s.reschedule(k)
+}
+
+// complete retires every job whose fluid work has drained to zero.
+func (s *silicoState) complete(k *sim.Kernel) {
+	now := float64(k.Now())
+	s.advanceTo(now)
+	var still []*silicoJob
+	for _, sj := range s.active {
+		if sj.workLeft > 1e-6 {
+			still = append(still, sj)
+			continue
+		}
+		finishJob(s.st, sj.job, float64(sj.job.Submit), sj.start, now)
+	}
+	s.active = still
+	s.reschedule(k)
+	s.checkDone(k)
+}
+
+func (s *silicoState) checkDone(k *sim.Kernel) {
+	if s.finished || s.arrived != len(s.jobs) || len(s.active) > 0 {
+		return
+	}
+	s.finished = true
+	s.st.Horizon = float64(k.Now())
+	s.completionRef.Cancel()
+	s.evalRef.Cancel()
+	s.sampleRef.Cancel()
+}
+
+func (s *silicoState) eval(k *sim.Kernel) {
+	now := float64(k.Now())
+	s.advanceTo(now)
+	demand := s.demand()
+	s.history = append(s.history, demand)
+	obs := Observation{
+		Now:          now,
+		Demand:       demand,
+		Supply:       s.cores + s.booting,
+		History:      s.history,
+		BootDelay:    s.cfg.BootDelay,
+		EvalInterval: s.cfg.EvalInterval,
+	}
+	if s.as.WorkflowAware() {
+		// The coarse engine approximates the eligible wave as 25% of
+		// outstanding width — an intentionally different model from the
+		// in-vitro engine.
+		obs.SoonEligible = demand / 4
+	}
+	target := s.as.Target(obs)
+	if target > s.cfg.MaxCores {
+		target = s.cfg.MaxCores
+	}
+	current := s.cores + s.booting
+	if target > current {
+		need := target - current
+		vms := (need + s.cfg.CorePerVM - 1) / s.cfg.CorePerVM
+		for i := 0; i < vms; i++ {
+			s.booting += s.cfg.CorePerVM
+			k.After(sim.Duration(s.cfg.BootDelay), "vm-boot", s.bootDone)
+		}
+	} else if target < current && s.cores > 0 {
+		drop := current - target
+		if drop > s.cores {
+			drop = s.cores
+		}
+		s.cores -= drop
+		s.reschedule(k)
+	}
+	s.evalRef = k.After(sim.Duration(s.cfg.EvalInterval), "eval", s.eval)
+}
+
+func (s *silicoState) bootDone(k *sim.Kernel) {
+	now := float64(k.Now())
+	s.advanceTo(now)
+	s.booting -= s.cfg.CorePerVM
+	s.cores += s.cfg.CorePerVM
+	s.reschedule(k)
+}
+
+func (s *silicoState) sample(k *sim.Kernel) {
+	now := float64(k.Now())
+	s.advanceTo(now)
+	s.st.Times = append(s.st.Times, now)
+	s.st.Supply = append(s.st.Supply, s.cores+s.booting)
+	s.st.Demand = append(s.st.Demand, s.demand())
+	s.st.CoreSeconds += float64(s.cores) * s.cfg.Step
+	s.sampleRef = k.After(sim.Duration(s.cfg.Step), "sample", s.sample)
 }

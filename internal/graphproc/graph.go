@@ -8,9 +8,10 @@
 package graphproc
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Graph is a directed graph in CSR (compressed sparse row) form. Vertices
@@ -87,7 +88,7 @@ func FromEdges(name string, n int, edges [][2]int32, weights []float32) (*Graph,
 		lo, hi := g.offsets[v], g.offsets[v+1]
 		if g.Weights == nil {
 			seg := g.targets[lo:hi]
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			slices.Sort(seg)
 			continue
 		}
 		idx := make([]int, hi-lo)
@@ -96,7 +97,7 @@ func FromEdges(name string, n int, edges [][2]int32, weights []float32) (*Graph,
 		}
 		tg := g.targets[lo:hi]
 		wt := g.Weights[lo:hi]
-		sort.Slice(idx, func(i, j int) bool { return tg[idx[i]] < tg[idx[j]] })
+		slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(tg[a], tg[b]) })
 		nt := make([]int32, len(idx))
 		nw := make([]float32, len(idx))
 		for i, j := range idx {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"atlarge/internal/sim"
 	"atlarge/internal/stats"
 )
 
@@ -37,11 +38,17 @@ func DefaultPopulationModel() PopulationModel {
 }
 
 // Series returns per-hour concurrent player counts for the given number of
-// days.
+// days. The series is produced by an hourly tick event on the shared
+// simulation kernel (one virtual second per hour), so population dynamics
+// compose with other kernel-driven models; the RNG is seeded from the model
+// alone, keeping the series bit-identical to the historical loop.
 func (m PopulationModel) Series(days int) []float64 {
 	r := rand.New(rand.NewSource(m.Seed))
 	out := make([]float64, 0, days*24)
-	for h := 0; h < days*24; h++ {
+	k := sim.NewKernel(m.Seed)
+	var tick sim.Handler
+	tick = func(k *sim.Kernel) {
+		h := len(out)
 		day := float64(h) / 24
 		daily := 1 + m.DailyAmp*math.Sin(2*math.Pi*(float64(h%24)-14)/24) // peak ~20:00
 		weekly := 1 + m.WeeklyAmp*math.Sin(2*math.Pi*(day-5)/7)           // weekend peak
@@ -52,6 +59,15 @@ func (m PopulationModel) Series(days int) []float64 {
 			v = 0
 		}
 		out = append(out, v)
+		if len(out) < days*24 {
+			k.After(1, "hour", tick)
+		}
+	}
+	if days*24 > 0 {
+		k.At(0, "hour", tick)
+	}
+	if err := k.Run(); err != nil {
+		panic(err) // unreachable: the tick chain neither stops nor errors
 	}
 	return out
 }

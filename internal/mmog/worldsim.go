@@ -1,0 +1,225 @@
+package mmog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"atlarge/internal/sim"
+)
+
+// WorldSimConfig parameterizes one event-driven virtual-world run: a
+// generated world whose entities drift around their points of interest while
+// a partitioner splits the load across game servers.
+type WorldSimConfig struct {
+	World WorldConfig
+	// Partitioner splits the world across servers each tick.
+	Partitioner Partitioner
+	// Servers is the game-server count.
+	Servers int
+	// Ticks is the number of world ticks simulated.
+	Ticks int
+	// TickSeconds is the virtual-time spacing of ticks; 0 means 1s.
+	TickSeconds float64
+	// Wander is the per-tick Gaussian movement scale; 0 means 2.0.
+	Wander float64
+	Seed   int64
+}
+
+// DefaultWorldSimConfig simulates a mid-size battle-clustered world.
+func DefaultWorldSimConfig(entities, servers int) WorldSimConfig {
+	return WorldSimConfig{
+		World:       DefaultWorldConfig(entities),
+		Partitioner: AoSPartitioner{},
+		Servers:     servers,
+		Ticks:       60,
+		TickSeconds: 1,
+		Wander:      2,
+		Seed:        1,
+	}
+}
+
+// WorldSimResult aggregates the per-tick per-server load series.
+type WorldSimResult struct {
+	Entities int
+	Servers  int
+	Ticks    int
+	// PeakLoad is the maximum per-server load observed at any tick — the
+	// provisioning-relevant hot-server number.
+	PeakLoad float64
+	// MeanMaxLoad is the hottest-server load averaged over ticks.
+	MeanMaxLoad float64
+	// MeanLoad is the per-server load averaged over servers and ticks.
+	MeanLoad float64
+	// Imbalance is the mean over ticks of (max load / mean load); 1.0 is a
+	// perfectly balanced partitioning.
+	Imbalance float64
+}
+
+// RunWorldSim executes the world on the shared simulation kernel: world
+// generation happens at setup, then every tick is a scheduled event in which
+// entities take a Gaussian step pulled back toward their nearest point of
+// interest and the partitioner's per-server loads are recorded. Movement
+// draws come from the kernel's named RNG streams, so runs are deterministic
+// per seed and independent of any other model sharing the kernel seed.
+func RunWorldSim(cfg WorldSimConfig) (*WorldSimResult, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("mmog: world sim needs >= 1 server, got %d", cfg.Servers)
+	}
+	if cfg.Ticks < 1 {
+		return nil, fmt.Errorf("mmog: world sim needs >= 1 tick, got %d", cfg.Ticks)
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = AoSPartitioner{}
+	}
+	tickSec := cfg.TickSeconds
+	if tickSec <= 0 {
+		tickSec = 1
+	}
+	wander := cfg.Wander
+	if wander <= 0 {
+		wander = 2
+	}
+
+	cfg.World.Seed = cfg.Seed
+	w := GenerateWorld(cfg.World)
+	res := &WorldSimResult{Entities: len(w.Entities), Servers: cfg.Servers}
+
+	k := sim.NewKernel(cfg.Seed)
+	var rec sim.Recorder
+	move := k.Rand("mmog/move")
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= w.Size {
+			return w.Size - 1e-9
+		}
+		return v
+	}
+
+	var tick sim.Handler
+	ticked := 0
+	tick = func(k *sim.Kernel) {
+		// Entities wander, gently pulled toward their nearest POI so battle
+		// clusters persist instead of diffusing into uniform noise.
+		for i := range w.Entities {
+			e := &w.Entities[i]
+			px, py := nearestPOI(w, e.X, e.Y)
+			e.X = clamp(e.X + move.NormFloat64()*wander + 0.02*(px-e.X))
+			e.Y = clamp(e.Y + move.NormFloat64()*wander + 0.02*(py-e.Y))
+		}
+		loads := cfg.Partitioner.Loads(w, cfg.Servers)
+		maxL, sum := 0.0, 0.0
+		for _, l := range loads {
+			sum += l
+			if l > maxL {
+				maxL = l
+			}
+		}
+		mean := sum / float64(len(loads))
+		now := k.Now()
+		rec.Record("max_load", now, maxL)
+		rec.Record("mean_load", now, mean)
+		if mean > 0 {
+			rec.Record("imbalance", now, maxL/mean)
+		} else {
+			rec.Record("imbalance", now, 1)
+		}
+		ticked++
+		if ticked < cfg.Ticks {
+			k.After(sim.Duration(tickSec), "world-tick", tick)
+		}
+	}
+	k.At(0, "world-tick", tick)
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("mmog: world sim: %w", err)
+	}
+
+	res.Ticks = ticked
+	res.PeakLoad = maxOf(rec.Values("max_load"))
+	res.MeanMaxLoad = meanOf(rec.Values("max_load"))
+	res.MeanLoad = meanOf(rec.Values("mean_load"))
+	res.Imbalance = meanOf(rec.Values("imbalance"))
+	return res, nil
+}
+
+// nearestPOI returns the closest point of interest to (x, y).
+func nearestPOI(w *World, x, y float64) (float64, float64) {
+	bx, by, bestD := 0.0, 0.0, math.Inf(1)
+	for _, poi := range w.POIs {
+		dx, dy := x-poi[0], y-poi[1]
+		if d := dx*dx + dy*dy; d < bestD {
+			bestD = d
+			bx, by = poi[0], poi[1]
+		}
+	}
+	return bx, by
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// partitionerFactories maps canonical partitioner names to constructors; the
+// offload fraction only matters for the mirror technique.
+var partitionerFactories = map[string]func(offload float64) Partitioner{
+	"zones":              func(float64) Partitioner { return ZonePartitioner{} },
+	"area-of-simulation": func(float64) Partitioner { return AoSPartitioner{} },
+	"mirror": func(offload float64) Partitioner {
+		if offload <= 0 {
+			offload = 0.5
+		}
+		return MirrorPartitioner{OffloadFraction: offload}
+	},
+}
+
+// partitionerAliases folds convenient spellings onto canonical names.
+var partitionerAliases = map[string]string{
+	"zone":   "zones",
+	"aos":    "area-of-simulation",
+	"mirror": "mirror",
+}
+
+// PartitionerByName resolves a partitioning technique case-insensitively,
+// accepting the canonical names and common aliases ("aos", "zone"). The
+// offload fraction configures the mirror technique and is ignored otherwise.
+func PartitionerByName(name string, offload float64) (Partitioner, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := partitionerAliases[key]; ok {
+		key = canon
+	}
+	if f, ok := partitionerFactories[key]; ok {
+		return f(offload), nil
+	}
+	return nil, fmt.Errorf("mmog: unknown partitioner %q (known: %s)",
+		name, strings.Join(PartitionerNames(), ", "))
+}
+
+// PartitionerNames returns the canonical partitioner names, sorted.
+func PartitionerNames() []string {
+	out := make([]string, 0, len(partitionerFactories))
+	for name := range partitionerFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

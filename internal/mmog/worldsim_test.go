@@ -1,0 +1,112 @@
+package mmog
+
+import "testing"
+
+func TestWorldSimBasics(t *testing.T) {
+	cfg := DefaultWorldSimConfig(300, 8)
+	cfg.Ticks = 20
+	res, err := RunWorldSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 20 {
+		t.Errorf("Ticks = %d, want 20", res.Ticks)
+	}
+	if res.Entities != 300 || res.Servers != 8 {
+		t.Errorf("shape = %d entities / %d servers", res.Entities, res.Servers)
+	}
+	if res.PeakLoad < res.MeanMaxLoad || res.MeanMaxLoad < res.MeanLoad {
+		t.Errorf("load ordering violated: peak %v, mean-max %v, mean %v",
+			res.PeakLoad, res.MeanMaxLoad, res.MeanLoad)
+	}
+	if res.Imbalance < 1 {
+		t.Errorf("Imbalance = %v, want >= 1", res.Imbalance)
+	}
+}
+
+func TestWorldSimDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultWorldSimConfig(200, 4)
+	cfg.Ticks = 10
+	cfg.Seed = 42
+	a, err := RunWorldSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorldSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed differs: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 43
+	c, err := RunWorldSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a == *c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestWorldSimAoSBalancesBetterThanZones(t *testing.T) {
+	run := func(p Partitioner) *WorldSimResult {
+		cfg := DefaultWorldSimConfig(500, 16)
+		cfg.Ticks = 15
+		cfg.Partitioner = p
+		cfg.Seed = 7
+		res, err := RunWorldSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	zones := run(ZonePartitioner{})
+	aos := run(AoSPartitioner{})
+	// The battle cluster pins static zones to one hot server; AoS shards it.
+	if aos.MeanMaxLoad >= zones.MeanMaxLoad {
+		t.Errorf("AoS hottest server %v not below zones %v", aos.MeanMaxLoad, zones.MeanMaxLoad)
+	}
+}
+
+func TestWorldSimRejectsBadConfig(t *testing.T) {
+	cfg := DefaultWorldSimConfig(10, 0)
+	if _, err := RunWorldSim(cfg); err == nil {
+		t.Error("zero servers accepted")
+	}
+	cfg = DefaultWorldSimConfig(10, 2)
+	cfg.Ticks = 0
+	if _, err := RunWorldSim(cfg); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}
+
+func TestPartitionerRegistry(t *testing.T) {
+	for name, want := range map[string]string{
+		"zones":              "zones",
+		"ZONE":               "zones",
+		"aos":                "area-of-simulation",
+		"Area-Of-Simulation": "area-of-simulation",
+		"mirror":             "mirror",
+	} {
+		p, err := PartitionerByName(name, 0)
+		if err != nil {
+			t.Errorf("%q: %v", name, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("%q resolved to %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := PartitionerByName("voronoi", 0); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+	names := PartitionerNames()
+	if len(names) != 3 || names[0] != "area-of-simulation" {
+		t.Errorf("PartitionerNames = %v", names)
+	}
+	m, _ := PartitionerByName("mirror", 0.8)
+	if mp, ok := m.(MirrorPartitioner); !ok || mp.OffloadFraction != 0.8 {
+		t.Errorf("mirror offload not applied: %#v", m)
+	}
+}

@@ -9,7 +9,9 @@
 package refarch
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -150,7 +152,7 @@ func (r *Registry) ByLayer(l Layer) []Component {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortStableFunc(out, func(a, b Component) int { return cmp.Compare(a.Name, b.Name) })
 	return out
 }
 

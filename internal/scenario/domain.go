@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Domain is one simulator opened to the declarative what-if engine: it
+// names itself, declares its sweepable parameter axes and the metrics its
+// runs emit, validates the domain-relevant parts of a spec, and executes one
+// concrete scenario cell under a pair of derived seeds.
+//
+// Registering a Domain is all a new simulator needs to participate in
+// scenario validate/run/sweep — the spec schema, sweep expander, parallel
+// runner, seed pairing (common random numbers), and report layer are shared.
+type Domain interface {
+	// Name is the registry key, matched case-insensitively against the
+	// spec's "domain" field.
+	Name() string
+	// Axes returns the sweepable dimensions of this domain by axis name.
+	Axes() map[string]AxisDef
+	// Metrics lists every metric a run of this domain may emit, with its
+	// comparison direction for best-cell highlighting.
+	Metrics() []MetricDef
+	// DefaultObjective is the highlight metric used when the spec leaves
+	// objective unset; it must appear in Metrics.
+	DefaultObjective() string
+	// Validate checks the domain-relevant base fields of the spec,
+	// reporting every problem through bad (all-problems-at-once style).
+	Validate(s *Spec, bad func(format string, args ...any))
+	// Run executes one concrete cell. workloadSeed drives workload/world
+	// generation and is shared by cells that differ only in non-generative
+	// axes (paired comparisons); simSeed drives the simulation's own
+	// randomness. The returned values become the cell's metric rows, in
+	// emission order.
+	Run(sc *Scenario, workloadSeed, simSeed int64) ([]MetricValue, error)
+}
+
+// AxisDef describes one sweepable dimension of a domain.
+type AxisDef struct {
+	// Check validates one swept value (type and name resolution).
+	Check func(v any) error
+	// Apply sets the value on the scenario and returns its rendering.
+	Apply func(sc *Scenario, v any) string
+	// Canon renders a valid value in canonical form for duplicate
+	// detection, so alias spellings ("sci"/"scientific") collide; nil means
+	// formatValue is already canonical.
+	Canon func(v any) string
+	// Generative marks axes that feed workload/world generation: they are
+	// part of the cell's workload identity, so cells differing only in
+	// non-generative axes (policy, shape, technique) face identical
+	// generated inputs per replica — common random numbers.
+	Generative bool
+}
+
+// MetricDef is one metric a domain emits.
+type MetricDef struct {
+	// Name is the metric key in reports.
+	Name string `json:"name"`
+	// HigherBetter is the comparison direction for highlighting; false
+	// (the default) means lower is better.
+	HigherBetter bool `json:"higher_better,omitempty"`
+}
+
+// MetricValue is one emitted measurement of a cell run.
+type MetricValue struct {
+	Name  string
+	Value float64
+}
+
+// domains is the registry of simulators opened to the scenario engine.
+var domains = map[string]Domain{}
+
+// RegisterDomain adds a domain to the registry. Empty and duplicate names
+// (case-insensitive) are rejected, so two simulators cannot silently shadow
+// each other.
+func RegisterDomain(d Domain) error {
+	name := d.Name()
+	key := strings.ToLower(name)
+	if strings.TrimSpace(key) == "" {
+		return fmt.Errorf("scenario: domain with empty name")
+	}
+	if _, dup := domains[key]; dup {
+		return fmt.Errorf("scenario: domain %q already registered", name)
+	}
+	domains[key] = d
+	return nil
+}
+
+// MustRegisterDomain is RegisterDomain for init-time registration.
+func MustRegisterDomain(d Domain) {
+	if err := RegisterDomain(d); err != nil {
+		panic(err)
+	}
+}
+
+// DomainByName resolves a registered domain case-insensitively.
+func DomainByName(name string) (Domain, error) {
+	if d, ok := domains[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown domain %q (known: %s)",
+		name, strings.Join(DomainNames(), ", "))
+}
+
+// DomainNames returns the registered domain names, sorted.
+func DomainNames() []string {
+	out := make([]string, 0, len(domains))
+	for name := range domains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metricNames returns a domain's metric names, sorted.
+func metricNames(d Domain) []string {
+	defs := d.Metrics()
+	out := make([]string, 0, len(defs))
+	for _, m := range defs {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// domainMetric reports whether the domain emits the named metric.
+func domainMetric(d Domain, name string) bool {
+	for _, m := range d.Metrics() {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AxisNames returns a domain's sweepable axis names in sorted order.
+func AxisNames(d Domain) []string {
+	axes := d.Axes()
+	out := make([]string, 0, len(axes))
+	for name := range axes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

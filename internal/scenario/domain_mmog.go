@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"atlarge/internal/mmog"
+)
+
+// Metric names emitted by mmog-domain scenario runs: per-server interaction
+// load under a world partitioning technique.
+const (
+	MetricEntities    = "entities"
+	MetricPeakLoad    = "peak_load"
+	MetricMeanMaxLoad = "mean_max_load"
+	MetricMeanLoad    = "mean_load"
+	MetricImbalance   = "imbalance"
+)
+
+func init() { MustRegisterDomain(mmogDomain{}) }
+
+// mmogDomain opens the event-driven MMOG world simulator to the scenario
+// engine: a battle-clustered virtual world ticks on the kernel while a
+// partitioning technique (static zones, Area-of-Simulation, Mirror
+// offloading) splits the interaction load across game servers.
+type mmogDomain struct{}
+
+func (mmogDomain) Name() string { return "mmog" }
+
+func (mmogDomain) DefaultObjective() string { return MetricPeakLoad }
+
+func (mmogDomain) Metrics() []MetricDef {
+	return []MetricDef{
+		{Name: MetricEntities},
+		{Name: MetricImbalance},
+		{Name: MetricMeanLoad},
+		{Name: MetricMeanMaxLoad},
+		{Name: MetricPeakLoad},
+	}
+}
+
+func (d mmogDomain) Validate(s *Spec, bad func(string, ...any)) {
+	rejectSection(s.Autoscale != nil, "autoscale", d.Name(), bad)
+	rejectSection(s.Policy != "", "policy", d.Name(), bad)
+	rejectSection(s.Cluster != (ClusterSpec{}), "cluster", d.Name(), bad)
+	rejectSection(s.Workload != (WorkloadSpec{}), "workload", d.Name(), bad)
+
+	m := s.MMOG
+	if m == nil {
+		m = &MMOGSpec{}
+	}
+	if m.Partitioner == "" {
+		if _, ok := s.Sweep["partitioner"]; !ok {
+			bad("mmog.partitioner: required unless swept (known: %s)",
+				strings.Join(mmog.PartitionerNames(), ", "))
+		}
+	} else if _, err := mmog.PartitionerByName(m.Partitioner, 0); err != nil {
+		bad("mmog.partitioner: %v", err)
+	}
+	for _, dim := range []struct {
+		name string
+		v    int
+	}{{"servers", m.Servers}, {"entities", m.Entities}, {"ticks", m.Ticks}} {
+		if dim.v < 0 {
+			bad("mmog.%s: got %d, must be >= 0 (0 means the default)", dim.name, dim.v)
+		}
+	}
+	if m.Offload < 0 || m.Offload > 0.9 {
+		bad("mmog.offload: got %g, must be in [0, 0.9] (0 means 0.5)", m.Offload)
+	}
+}
+
+func (mmogDomain) Axes() map[string]AxisDef {
+	return map[string]AxisDef{
+		"partitioner": {
+			Check: func(v any) error {
+				return checkName(v, func(s string) error { _, err := mmog.PartitionerByName(s, 0); return err })
+			},
+			Apply: func(sc *Scenario, v any) string {
+				sc.MMOG.Partitioner = v.(string)
+				return v.(string)
+			},
+			Canon: func(v any) string {
+				p, _ := mmog.PartitionerByName(v.(string), 0)
+				return p.Name()
+			},
+		},
+		"servers": {
+			Check: func(v any) error { return checkInt(v, 1) },
+			Apply: func(sc *Scenario, v any) string {
+				sc.MMOG.Servers = int(v.(float64))
+				return formatValue(v)
+			},
+		},
+		"entities": {
+			Check: func(v any) error { return checkInt(v, 1) },
+			Apply: func(sc *Scenario, v any) string {
+				sc.MMOG.Entities = int(v.(float64))
+				return formatValue(v)
+			},
+			// The world population shapes world generation: cells differing
+			// only in partitioner or servers share the identical world.
+			Generative: true,
+		},
+		"ticks": {
+			Check: func(v any) error { return checkInt(v, 1) },
+			Apply: func(sc *Scenario, v any) string {
+				sc.MMOG.Ticks = int(v.(float64))
+				return formatValue(v)
+			},
+		},
+		"offload": {
+			// 0 is the unswept "mirror default" sentinel in the spec
+			// section; a swept 0 would silently run offload 0.5 under an
+			// offload=0 label.
+			Check: func(v any) error {
+				if err := checkFloat(v, 0); err != nil {
+					return err
+				}
+				f := v.(float64)
+				if f == 0 {
+					return fmt.Errorf("got 0; a swept offload must be in (0, 0.9] (0 means the mirror default 0.5)")
+				}
+				if f > 0.9 {
+					return fmt.Errorf("got %g, must be <= 0.9", f)
+				}
+				return nil
+			},
+			Apply: func(sc *Scenario, v any) string {
+				sc.MMOG.Offload = v.(float64)
+				return formatValue(v)
+			},
+		},
+	}
+}
+
+// Run executes one mmog cell: the world is generated and moved under the
+// paired workload seed (cells differing only in technique or server count
+// see the identical world and trajectories), partitioned every tick.
+func (mmogDomain) Run(sc *Scenario, workloadSeed, simSeed int64) ([]MetricValue, error) {
+	m := sc.MMOG
+	servers := m.Servers
+	if servers <= 0 {
+		servers = 8
+	}
+	entities := m.Entities
+	if entities <= 0 {
+		entities = 400
+	}
+	part, err := mmog.PartitionerByName(m.Partitioner, m.Offload)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+	}
+	cfg := mmog.DefaultWorldSimConfig(entities, servers)
+	cfg.Partitioner = part
+	if m.Ticks > 0 {
+		cfg.Ticks = m.Ticks
+	}
+	// The world and its movement are the cell's "workload": seeding them
+	// from the workload seed pairs cells across technique/server axes. The
+	// partitioners themselves are deterministic, so simSeed is unused.
+	cfg.Seed = workloadSeed
+	_ = simSeed
+	res, err := mmog.RunWorldSim(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+	}
+	return []MetricValue{
+		{MetricEntities, float64(res.Entities)},
+		{MetricPeakLoad, res.PeakLoad},
+		{MetricMeanMaxLoad, res.MeanMaxLoad},
+		{MetricMeanLoad, res.MeanLoad},
+		{MetricImbalance, res.Imbalance},
+	}, nil
+}

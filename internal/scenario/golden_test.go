@@ -10,55 +10,59 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
 
-// TestSweepGolden pins the committed example sweep end to end: the JSON
-// report for examples/scenarios/policy-vs-load.json at --replicas 3 must be
-// byte-identical between --parallel 1 and --parallel 8, and byte-identical
-// to the committed golden file. Regenerate with: go test ./internal/scenario
-// -run TestSweepGolden -update
+// TestSweepGolden pins the committed example sweeps end to end, one golden
+// per pinned domain: the JSON report at --replicas 3 must be byte-identical
+// between --parallel 1 and --parallel 8, and byte-identical to the committed
+// golden file. Regenerate with: go test ./internal/scenario -run
+// TestSweepGolden -update
 func TestSweepGolden(t *testing.T) {
-	specPath := filepath.Join("..", "..", "examples", "scenarios", "policy-vs-load.json")
-	goldenPath := filepath.Join("testdata", "policy-vs-load.golden.json")
+	for _, name := range []string{"policy-vs-load", "autoscaler-vs-load"} {
+		t.Run(name, func(t *testing.T) {
+			specPath := filepath.Join("..", "..", "examples", "scenarios", name+".json")
+			goldenPath := filepath.Join("testdata", name+".golden.json")
 
-	spec, err := Load(specPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cells, err := Expand(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+			spec, err := Load(specPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells, err := Expand(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	render := func(parallel int) []byte {
-		rep, err := Run(spec, cells, Options{Replicas: 3, Parallelism: parallel})
-		if err != nil {
-			t.Fatal(err)
-		}
-		var buf bytes.Buffer
-		if err := rep.WriteJSON(&buf); err != nil {
-			t.Fatal(err)
-		}
-		return buf.Bytes()
-	}
+			render := func(parallel int) []byte {
+				rep, err := Run(spec, cells, Options{Replicas: 3, Parallelism: parallel})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := rep.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
 
-	seq := render(1)
-	par := render(8)
-	if !bytes.Equal(seq, par) {
-		t.Fatal("sweep report differs between --parallel 1 and --parallel 8")
-	}
+			seq := render(1)
+			par := render(8)
+			if !bytes.Equal(seq, par) {
+				t.Fatal("sweep report differs between --parallel 1 and --parallel 8")
+			}
 
-	if *updateGolden {
-		if err := os.WriteFile(goldenPath, seq, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("updated %s (%d bytes)", goldenPath, len(seq))
-		return
-	}
-	want, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("read golden (regenerate with -update): %v", err)
-	}
-	if !bytes.Equal(seq, want) {
-		t.Errorf("sweep report deviates from %s (%d vs %d bytes); regenerate with -update if the change is intended",
-			goldenPath, len(seq), len(want))
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, seq, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", goldenPath, len(seq))
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(seq, want) {
+				t.Errorf("sweep report deviates from %s (%d vs %d bytes); regenerate with -update if the change is intended",
+					goldenPath, len(seq), len(want))
+			}
+		})
 	}
 }

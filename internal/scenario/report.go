@@ -61,18 +61,27 @@ func (c *Cell) param(axis string) string {
 type Report struct {
 	Name        string `json:"name"`
 	SpecVersion int    `json:"spec_version"`
-	Seed        int64  `json:"seed"`
-	Replicas    int    `json:"replicas"`
-	Objective   string `json:"objective"`
-	Axes        []Axis `json:"axes,omitempty"`
-	Cells       []Cell `json:"cells"`
+	// Domain is the simulation domain the cells ran in.
+	Domain    string `json:"domain"`
+	Seed      int64  `json:"seed"`
+	Replicas  int    `json:"replicas"`
+	Objective string `json:"objective"`
+	Axes      []Axis `json:"axes,omitempty"`
+	Cells     []Cell `json:"cells"`
 	// BestCell is the objective-best cell over the whole sweep.
 	BestCell string `json:"best_cell,omitempty"`
+
+	// directions maps metric name to comparison direction (true = higher
+	// is better), populated from the domain's metric catalog at run time.
+	directions map[string]bool
 }
+
+// higherBetter reports the objective's comparison direction.
+func (r *Report) higherBetter() bool { return r.directions[r.Objective] }
 
 // better reports whether a beats b on the report's objective direction.
 func (r *Report) better(a, b float64) bool {
-	if higherBetter[r.Objective] {
+	if r.higherBetter() {
 		return a > b
 	}
 	return a < b
@@ -167,11 +176,11 @@ func formatMean(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 // table. Cells marked "*" are the best in at least one axis group.
 func (r *Report) WriteText(w io.Writer) error {
 	direction := "lower is better"
-	if higherBetter[r.Objective] {
+	if r.higherBetter() {
 		direction = "higher is better"
 	}
-	fmt.Fprintf(w, "scenario %q: %d cell(s) x %d replica(s), seed %d, objective %s (%s)\n",
-		r.Name, len(r.Cells), r.Replicas, r.Seed, r.Objective, direction)
+	fmt.Fprintf(w, "scenario %q (domain %s): %d cell(s) x %d replica(s), seed %d, objective %s (%s)\n",
+		r.Name, r.Domain, len(r.Cells), r.Replicas, r.Seed, r.Objective, direction)
 	for _, ax := range r.Axes {
 		fmt.Fprintf(w, "  axis %s: %s\n", ax.Name, strings.Join(ax.Values, " "))
 	}

@@ -8,67 +8,8 @@ import (
 	"strings"
 
 	"atlarge"
-	"atlarge/internal/cluster"
-	"atlarge/internal/portfolio"
-	"atlarge/internal/sched"
 	"atlarge/internal/sim"
 	"atlarge/internal/workload"
-)
-
-// Metric names emitted by scenario runs. Static policies report the full
-// set; the portfolio scheduler reports the subset its result carries plus
-// its selection counters.
-const (
-	MetricJobs           = "jobs"
-	MetricMakespan       = "makespan_s"
-	MetricMeanResponse   = "mean_response_s"
-	MetricMeanWait       = "mean_wait_s"
-	MetricMeanSlowdown   = "mean_slowdown"
-	MetricUtilization    = "utilization"
-	MetricDeadlineMisses = "deadline_misses"
-	MetricWindows        = "windows"
-	MetricSelectionSims  = "selection_sims"
-)
-
-// higherBetter maps each metric to its comparison direction for
-// best-per-axis highlighting; metrics not listed are lower-is-better.
-var higherBetter = map[string]bool{
-	MetricUtilization: true,
-}
-
-// metricNames lists every metric a scenario run may emit, sorted.
-var metricNames = []string{
-	MetricDeadlineMisses, MetricJobs, MetricMakespan, MetricMeanResponse,
-	MetricMeanSlowdown, MetricMeanWait, MetricSelectionSims,
-	MetricUtilization, MetricWindows,
-}
-
-// MetricNames returns the known metric names in sorted order.
-func MetricNames() []string { return append([]string(nil), metricNames...) }
-
-func knownMetric(name string) bool {
-	for _, m := range metricNames {
-		if m == name {
-			return true
-		}
-	}
-	return false
-}
-
-// portfolioMetrics are the metrics runCell emits for the portfolio
-// scheduler; simulatorMetrics are the ones static policies emit. The
-// objective must be emitted by every policy a spec runs, or best-cell
-// highlighting would silently do nothing.
-var (
-	portfolioMetrics = map[string]bool{
-		MetricJobs: true, MetricMeanResponse: true, MetricMeanSlowdown: true,
-		MetricWindows: true, MetricSelectionSims: true,
-	}
-	simulatorMetrics = map[string]bool{
-		MetricJobs: true, MetricMakespan: true, MetricMeanResponse: true,
-		MetricMeanWait: true, MetricMeanSlowdown: true, MetricUtilization: true,
-		MetricDeadlineMisses: true,
-	}
 )
 
 // Options configures a scenario execution.
@@ -89,11 +30,16 @@ type Options struct {
 // Every (scenario, replica) pair is one unit of work with two deterministic
 // derived seeds: the simulation seed atlarge.DeriveSeed(base, cellID,
 // replica), and the workload-generation seed DeriveSeed(base, workloadID,
-// replica), where workloadID carries only the generation-relevant axes. Cells
-// that differ only in policy, load, or cluster shape therefore face the
-// identical generated job set per replica (common random numbers), so their
-// comparison measures the design change, not workload sampling noise.
+// replica), where workloadID carries only the generation-relevant axes of
+// the domain. Cells that differ only in policy, load, shape, or technique
+// therefore face the identical generated input per replica (common random
+// numbers), so their comparison measures the design change, not workload
+// sampling noise.
 func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
+	d, err := s.domainImpl()
+	if err != nil {
+		return nil, err
+	}
 	replicas := opt.Replicas
 	if replicas <= 0 {
 		replicas = s.Replicas
@@ -138,11 +84,13 @@ func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
 	rep := &Report{
 		Name:        s.Name,
 		SpecVersion: s.Version,
+		Domain:      d.Name(),
 		Seed:        seed,
 		Replicas:    replicas,
-		Objective:   s.objective(),
+		Objective:   s.objective(d),
 		Axes:        reportAxes(s),
 		Cells:       make([]Cell, len(cells)),
+		directions:  metricDirections(d),
 	}
 	for i := range cells {
 		cell, err := parseCell(&cells[i], seed, results[i*replicas:(i+1)*replicas])
@@ -153,6 +101,16 @@ func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
 	}
 	rep.highlight()
 	return rep, nil
+}
+
+// metricDirections maps a domain's metric names to their comparison
+// direction (true = higher is better).
+func metricDirections(d Domain) map[string]bool {
+	out := make(map[string]bool)
+	for _, m := range d.Metrics() {
+		out[m.Name] = m.HigherBetter
+	}
+	return out
 }
 
 // reportAxes renders the spec's sweep axes in expansion order.
@@ -202,94 +160,25 @@ func parseCell(sc *Scenario, baseSeed int64, replicaResults []atlarge.Result) (C
 	return cell, nil
 }
 
-// runCell executes one (scenario, replica) and reports metrics as
-// "name value" rows, with exact float rendering so that the downstream
-// aggregation sees the precise simulated values. workloadSeed drives trace
-// generation (shared across cells that generate the same workload); simSeed
-// drives the simulation's own randomness.
+// runCell executes one (scenario, replica) through its domain and reports
+// metrics as "name value" rows, with exact float rendering so that the
+// downstream aggregation sees the precise simulated values.
 func runCell(sc *Scenario, workloadSeed, simSeed int64) (*atlarge.Report, error) {
-	env, envFactory, err := sc.buildEnv()
+	values, err := sc.domain.Run(sc, workloadSeed, simSeed)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := sc.buildTrace(workloadSeed, env.TotalCores())
-	if err != nil {
-		return nil, err
-	}
-
 	rep := &atlarge.Report{ID: sc.ID(), Title: "scenario " + sc.ID()}
-	row := func(name string, v float64) {
-		rep.Rows = append(rep.Rows, name+" "+strconv.FormatFloat(v, 'g', -1, 64))
+	for _, mv := range values {
+		rep.Rows = append(rep.Rows, mv.Name+" "+strconv.FormatFloat(mv.Value, 'g', -1, 64))
 	}
-
-	if isPortfolio(sc.Policy) {
-		ps := &portfolio.Scheduler{
-			Policies:   sched.DefaultPortfolio(),
-			Selector:   portfolio.Exhaustive{},
-			WindowSize: 25,
-			EnvFactory: envFactory,
-			Seed:       simSeed,
-		}
-		res, err := ps.Run(tr)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
-		}
-		row(MetricJobs, float64(len(tr.Jobs)))
-		row(MetricMeanResponse, res.MeanResponse)
-		row(MetricMeanSlowdown, res.MeanSlowdown)
-		row(MetricWindows, float64(len(res.Choices)))
-		row(MetricSelectionSims, float64(res.TotalSimRuns))
-		return rep, nil
-	}
-
-	pol, err := sched.PolicyByName(sc.Policy)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
-	}
-	res, err := sched.NewSimulator(env, tr, pol, simSeed).Run()
-	if err != nil {
-		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
-	}
-	row(MetricJobs, float64(len(res.Jobs)))
-	row(MetricMakespan, float64(res.Makespan))
-	row(MetricMeanResponse, res.MeanResponse)
-	row(MetricMeanWait, res.MeanWait)
-	row(MetricMeanSlowdown, res.MeanSlowdown)
-	row(MetricUtilization, res.UtilizationMean)
-	row(MetricDeadlineMisses, float64(res.DeadlineMisses))
 	return rep, nil
-}
-
-// buildEnv resolves the scenario's environment: the kind's calibrated
-// standard shape, with any of sites/machines/cores overridden. The factory
-// rebuilds fresh environments for the portfolio scheduler's what-if probes.
-func (sc *Scenario) buildEnv() (*cluster.Environment, func() *cluster.Environment, error) {
-	kindName := sc.Cluster.Kind
-	if kindName == "" {
-		kindName = "CL"
-	}
-	kind, err := cluster.KindByName(kindName)
-	if err != nil {
-		return nil, nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
-	}
-	std := cluster.StandardEnvironment(kind)
-	sites, machines, cores := sc.Cluster.Sites, sc.Cluster.Machines, sc.Cluster.Cores
-	if sites == 0 {
-		sites = len(std.Clusters)
-	}
-	if machines == 0 {
-		machines = len(std.Clusters[0].Machines)
-	}
-	if cores == 0 {
-		cores = std.Clusters[0].Machines[0].Cores
-	}
-	factory := func() *cluster.Environment { return cluster.NewHomogeneous(kind, sites, machines, cores) }
-	return factory(), factory, nil
 }
 
 // buildTrace resolves the scenario's workload for one replica seed: an
 // imported GWA trace or a generated class (with optional arrival override),
-// then rescaled to the target offered load when one is set.
+// then rescaled to the target offered load when one is set. It is shared by
+// every domain that drives a job-trace workload.
 func (sc *Scenario) buildTrace(seed int64, totalCores int) (*workload.Trace, error) {
 	var tr *workload.Trace
 	if sc.Workload.Trace != "" {

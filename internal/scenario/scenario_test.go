@@ -47,6 +47,7 @@ func TestValidateCollectsActionableErrors(t *testing.T) {
 	s := specJSON(t, `{
 		"version": 3,
 		"name": "",
+		"domain": "sched",
 		"workload": {"class": "hpc", "jobs": -1, "load": -0.5,
 			"arrival": {"process": "pareto"}},
 		"cluster": {"kind": "edge", "cores": -2},

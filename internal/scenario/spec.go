@@ -1,15 +1,20 @@
 // Package scenario is the declarative what-if engine of the AtLarge
-// reproduction: a versioned JSON specification names a workload (generated
-// class or imported GWA trace), a cluster shape, and a scheduling policy; a
-// sweep expander turns axis lists into the cross-product of concrete
-// scenarios; execution fans the expanded set out over the parallel
-// atlarge.Runner with deterministic per-(scenario, replica) seeds; and a
-// report layer aggregates the results into comparative tables
-// (mean ± 95% CI per cell, best-per-axis highlighting) in text, JSON, or CSV.
+// reproduction: a versioned JSON specification names a simulation domain
+// (cluster scheduling, autoscaling, MMOG worlds — see Domain), the domain's
+// parameters, and the workload under study; a sweep expander turns axis
+// lists into the cross-product of concrete scenarios; execution fans the
+// expanded set out over the parallel atlarge.Runner with deterministic
+// per-(scenario, replica) seeds; and a report layer aggregates the results
+// into comparative tables (mean ± 95% CI per cell, best-per-axis
+// highlighting) in text, JSON, or CSV.
 //
 // The engine exists so that new design questions — "which policy wins on a
-// bursty scientific workload as load grows?" — can be posed by writing a spec
-// file instead of a new Go experiment (see examples/scenarios/).
+// bursty scientific workload as load grows?", "does a workflow-aware
+// autoscaler pay off as load rises?", "how many servers does each world
+// partitioner need?" — can be posed by writing a spec file instead of a new
+// Go experiment (see examples/scenarios/). New simulators join by
+// registering a Domain; the schema, sweeps, seeding discipline, and reports
+// are shared.
 package scenario
 
 import (
@@ -18,32 +23,41 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 
-	"atlarge/internal/cluster"
-	"atlarge/internal/sched"
 	"atlarge/internal/trace"
 	"atlarge/internal/workload"
 )
 
-// SpecVersion is the schema version this build reads and writes.
-const SpecVersion = 1
+// SpecVersion is the schema version this build writes. Version 1 specs (the
+// schema before domains existed) are auto-upgraded on parse: they become
+// version 2 specs with domain "sched".
+const SpecVersion = 2
 
 // Spec is one declarative what-if specification.
 type Spec struct {
-	// Version is the schema version; must equal SpecVersion.
+	// Version is the schema version; must equal SpecVersion (version 1
+	// specs auto-upgrade on parse).
 	Version int `json:"version"`
 	// Name identifies the scenario family in reports and cell IDs.
 	Name string `json:"name"`
-	// Workload names the workload under study.
-	Workload WorkloadSpec `json:"workload"`
-	// Cluster names the execution environment shape.
-	Cluster ClusterSpec `json:"cluster"`
+	// Domain names the registered simulation domain (see DomainNames);
+	// version-1 specs upgrade to "sched".
+	Domain string `json:"domain,omitempty"`
+	// Workload names the workload under study (sched and autoscale
+	// domains).
+	Workload WorkloadSpec `json:"workload,omitempty"`
+	// Cluster names the execution environment shape (sched domain).
+	Cluster ClusterSpec `json:"cluster,omitempty"`
 	// Policy is the scheduling policy (see sched.PolicyNames) or
-	// "portfolio" for the portfolio scheduler over the default policy set.
+	// "portfolio" for the portfolio scheduler over the default policy set
+	// (sched domain).
 	Policy string `json:"policy,omitempty"`
+	// Autoscale parameterizes the autoscale domain.
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	// MMOG parameterizes the mmog domain.
+	MMOG *MMOGSpec `json:"mmog,omitempty"`
 	// Replicas is the default replica count (CLI --replicas overrides);
 	// 0 means 1.
 	Replicas int `json:"replicas,omitempty"`
@@ -51,11 +65,11 @@ type Spec struct {
 	// (CLI --seed overrides).
 	Seed int64 `json:"seed,omitempty"`
 	// Objective selects the metric used for best-cell highlighting;
-	// default "mean_response_s".
+	// empty means the domain's default.
 	Objective string `json:"objective,omitempty"`
 	// Sweep maps axis names to value lists; the cross-product over the
 	// axes (in lexicographic axis-name order) is the set of concrete
-	// scenarios. See AxisNames for the accepted axes.
+	// scenarios. The accepted axes are the domain's (see Domain.Axes).
 	Sweep map[string][]any `json:"sweep,omitempty"`
 
 	// dir is the directory the spec was loaded from, for resolving
@@ -108,11 +122,49 @@ type ClusterSpec struct {
 	Cores    int `json:"cores,omitempty"`
 }
 
+// AutoscaleSpec parameterizes the autoscale domain: which autoscaler runs
+// the workload under which elasticity engine.
+type AutoscaleSpec struct {
+	// Autoscaler names the policy under study (see autoscale §6.7
+	// catalog: React, Adapt, Hist, Reg, ConPaaS, Plan, Token). Required
+	// unless the autoscaler axis is swept.
+	Autoscaler string `json:"autoscaler,omitempty"`
+	// Engine is the evaluation technique: "in-vitro" (fine-grained,
+	// default) or "in-silico" (coarse fluid).
+	Engine string `json:"engine,omitempty"`
+	// BootDelay is the VM provisioning latency in seconds; 0 means 60.
+	BootDelay float64 `json:"boot_delay_s,omitempty"`
+	// EvalInterval is the autoscaler period in seconds; 0 means 30.
+	EvalInterval float64 `json:"eval_interval_s,omitempty"`
+	// MaxCores caps provider capacity (also the core count used for
+	// offered-load rescaling); 0 means 512.
+	MaxCores int `json:"max_cores,omitempty"`
+	// CorePerVM is the VM granularity; 0 means 4.
+	CorePerVM int `json:"core_per_vm,omitempty"`
+}
+
+// MMOGSpec parameterizes the mmog domain: an event-driven virtual world
+// split across game servers by a partitioning technique.
+type MMOGSpec struct {
+	// Partitioner names the technique (see mmog.PartitionerNames: zones,
+	// area-of-simulation, mirror). Required unless swept.
+	Partitioner string `json:"partitioner,omitempty"`
+	// Servers is the game-server count; 0 means 8.
+	Servers int `json:"servers,omitempty"`
+	// Entities is the world population; 0 means 400.
+	Entities int `json:"entities,omitempty"`
+	// Ticks is the number of simulated world ticks; 0 means 60.
+	Ticks int `json:"ticks,omitempty"`
+	// Offload is the mirror technique's offload fraction; 0 means 0.5.
+	Offload float64 `json:"offload,omitempty"`
+}
+
 // PolicyPortfolio is the Policy value that selects the portfolio scheduler.
 const PolicyPortfolio = "portfolio"
 
 // Parse decodes a spec from r. Unknown fields are rejected so typos in spec
-// files surface as errors instead of silently-ignored settings.
+// files surface as errors instead of silently-ignored settings. Version-1
+// specs are upgraded in place to version 2 with domain "sched".
 func Parse(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -120,7 +172,19 @@ func Parse(r io.Reader) (*Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("scenario: parse spec: %w", err)
 	}
+	s.upgrade()
 	return &s, nil
+}
+
+// upgrade lifts a version-1 spec (the pre-domain schema) to version 2: the
+// only v1 simulator was the cluster scheduler, so the domain is "sched".
+func (s *Spec) upgrade() {
+	if s.Version == 1 {
+		s.Version = 2
+		if s.Domain == "" {
+			s.Domain = "sched"
+		}
+	}
 }
 
 // Load reads and parses a spec file. Relative workload trace paths resolve
@@ -147,17 +211,27 @@ func (s *Spec) tracePath() string {
 	return filepath.Join(s.dir, s.Workload.Trace)
 }
 
-// objective returns the highlight metric, defaulted.
-func (s *Spec) objective() string {
+// domainImpl resolves the spec's domain from the registry.
+func (s *Spec) domainImpl() (Domain, error) {
+	if s.Domain == "" {
+		return nil, fmt.Errorf("scenario: spec %q has no domain (known: %s; version-1 specs imply %q)",
+			s.Name, strings.Join(DomainNames(), ", "), "sched")
+	}
+	return DomainByName(s.Domain)
+}
+
+// objective returns the highlight metric, defaulted per domain.
+func (s *Spec) objective(d Domain) string {
 	if s.Objective == "" {
-		return MetricMeanResponse
+		return d.DefaultObjective()
 	}
 	return s.Objective
 }
 
-// Validate checks the whole spec — base fields, every sweep axis, and every
-// swept value — and reports every problem it finds as one joined error, so a
-// malformed spec can be fixed in a single pass.
+// Validate checks the whole spec — base fields, the domain's parameters,
+// every sweep axis, and every swept value — and reports every problem it
+// finds as one joined error, so a malformed spec can be fixed in a single
+// pass.
 func (s *Spec) Validate() error {
 	var problems []string
 	bad := func(format string, args ...any) {
@@ -165,21 +239,31 @@ func (s *Spec) Validate() error {
 	}
 
 	if s.Version != SpecVersion {
-		bad("version: got %d, this build supports version %d", s.Version, SpecVersion)
+		bad("version: got %d, this build supports version %d (and auto-upgrades version 1)",
+			s.Version, SpecVersion)
 	}
 	if s.Name == "" {
 		bad(`name: required (used in report headers and scenario IDs, e.g. "policy-vs-load")`)
 	}
-
-	s.validateWorkload(bad)
-	s.validateCluster(bad)
-	s.validatePolicy(bad)
-
 	if s.Replicas < 0 {
 		bad("replicas: got %d, must be >= 0 (0 means 1)", s.Replicas)
 	}
-	s.validateObjective(bad)
-	s.validateSweep(bad)
+
+	d, err := s.domainImpl()
+	if err != nil {
+		// Without a resolvable domain no axis catalog or metric set exists;
+		// the remaining checks would only produce misleading noise.
+		if s.Domain == "" {
+			bad("domain: required (known: %s; version-1 specs imply %q)",
+				strings.Join(DomainNames(), ", "), "sched")
+		} else {
+			bad("domain: %v", errTrimPrefix(err))
+		}
+	} else {
+		d.Validate(s, bad)
+		s.validateObjective(d, bad)
+		s.validateSweep(d, bad)
+	}
 
 	if len(problems) == 0 {
 		return nil
@@ -187,7 +271,37 @@ func (s *Spec) Validate() error {
 	return fmt.Errorf("scenario: invalid spec %q:\n  - %s", s.Name, strings.Join(problems, "\n  - "))
 }
 
-func (s *Spec) validateWorkload(bad func(string, ...any)) {
+// errTrimPrefix drops the "scenario: " prefix when nesting registry errors
+// inside a validation problem list.
+func errTrimPrefix(err error) string {
+	return strings.TrimPrefix(err.Error(), "scenario: ")
+}
+
+// validateObjective checks the highlight metric against the domain's metric
+// catalog; domains add their own refinements (e.g. per-policy emission) in
+// Domain.Validate.
+func (s *Spec) validateObjective(d Domain, bad func(string, ...any)) {
+	obj := s.objective(d)
+	if !domainMetric(d, obj) {
+		bad("objective: unknown metric %q (domain %s emits: %s)",
+			obj, d.Name(), strings.Join(metricNames(d), ", "))
+	}
+}
+
+// rejectSection reports domain-foreign spec sections, so parameters of one
+// simulator cannot be silently ignored by another.
+func rejectSection(set bool, section, domain string, bad func(string, ...any)) {
+	if set {
+		bad("%s: not used by domain %s; remove it", section, domain)
+	}
+}
+
+// defaultJobs is the generated job count when the spec leaves it unset.
+const defaultJobs = 100
+
+// validateWorkloadSpec checks the shared workload section (used by the sched
+// and autoscale domains).
+func (s *Spec) validateWorkloadSpec(bad func(string, ...any)) {
 	w := s.Workload
 	swept := func(axis string) bool { _, ok := s.Sweep[axis]; return ok }
 	switch {
@@ -234,92 +348,6 @@ func (s *Spec) validateWorkload(bad func(string, ...any)) {
 		}
 	}
 }
-
-func (s *Spec) validateCluster(bad func(string, ...any)) {
-	c := s.Cluster
-	if c.Kind != "" {
-		if _, err := cluster.KindByName(c.Kind); err != nil {
-			bad("cluster.kind: %v", err)
-		}
-	}
-	for _, dim := range []struct {
-		name string
-		v    int
-	}{{"sites", c.Sites}, {"machines", c.Machines}, {"cores", c.Cores}} {
-		if dim.v < 0 {
-			bad("cluster.%s: got %d, must be >= 0 (0 means the kind's standard shape)", dim.name, dim.v)
-		}
-	}
-}
-
-func (s *Spec) validatePolicy(bad func(string, ...any)) {
-	if s.Policy == "" {
-		if _, ok := s.Sweep["policy"]; !ok {
-			bad("policy: required unless swept (known: %s, or %q)",
-				strings.Join(sched.PolicyNames(), ", "), PolicyPortfolio)
-		}
-		return
-	}
-	if err := validPolicy(s.Policy); err != nil {
-		bad("policy: %v", err)
-	}
-}
-
-// isPortfolio matches the portfolio policy name case-insensitively, like
-// every other name lookup.
-func isPortfolio(name string) bool { return strings.EqualFold(name, PolicyPortfolio) }
-
-func validPolicy(name string) error {
-	if isPortfolio(name) {
-		return nil
-	}
-	if _, err := sched.PolicyByName(name); err != nil {
-		return fmt.Errorf("unknown policy %q (known: %s, or %q)",
-			name, strings.Join(sched.PolicyNames(), ", "), PolicyPortfolio)
-	}
-	return nil
-}
-
-// validateObjective checks the highlight metric exists and is emitted by
-// every policy the spec runs — otherwise best-cell highlighting would
-// silently produce nothing.
-func (s *Spec) validateObjective(bad func(string, ...any)) {
-	obj := s.objective()
-	if !knownMetric(obj) {
-		bad("objective: unknown metric %q (known: %s)", obj, strings.Join(MetricNames(), ", "))
-		return
-	}
-	// Collect every (valid) policy some cell will actually run: the swept
-	// values when the policy axis is swept (it overrides the base in every
-	// cell), the base policy otherwise.
-	policies := []string{}
-	if swept, ok := s.Sweep["policy"]; ok {
-		for _, v := range swept {
-			if name, ok := v.(string); ok && validPolicy(name) == nil {
-				policies = append(policies, name)
-			}
-		}
-	} else if s.Policy != "" {
-		policies = append(policies, s.Policy)
-	}
-	for _, p := range policies {
-		emitted := simulatorMetrics
-		if isPortfolio(p) {
-			emitted = portfolioMetrics
-		}
-		if !emitted[obj] {
-			names := make([]string, 0, len(emitted))
-			for name := range emitted {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			bad("objective: policy %q does not emit %q (it emits: %s)", p, obj, strings.Join(names, ", "))
-		}
-	}
-}
-
-// defaultJobs is the generated job count when the spec leaves it unset.
-const defaultJobs = 100
 
 // loadTrace returns a fresh deep copy of the spec's GWA trace; the file is
 // read and parsed once per spec, however many cells and replicas run it.

@@ -5,10 +5,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-
-	"atlarge/internal/cluster"
-	"atlarge/internal/sched"
-	"atlarge/internal/workload"
 )
 
 // Param is one axis assignment of a concrete scenario, rendered as text.
@@ -17,15 +13,21 @@ type Param struct {
 	Value string `json:"value"`
 }
 
-// Scenario is one concrete cell of a sweep: a fully resolved workload,
-// cluster shape, and policy. Params records the axis assignments that
-// produced it (empty for an unswept spec).
+// Scenario is one concrete cell of a sweep: a fully resolved parameter set
+// for one domain. Params records the axis assignments that produced it
+// (empty for an unswept spec).
 type Scenario struct {
-	spec     *Spec
+	spec   *Spec
+	domain Domain
+	// Workload/Cluster/Policy parameterize the sched and autoscale domains.
 	Workload WorkloadSpec
 	Cluster  ClusterSpec
 	Policy   string
-	Params   []Param
+	// Autoscale parameterizes the autoscale domain.
+	Autoscale AutoscaleSpec
+	// MMOG parameterizes the mmog domain.
+	MMOG   MMOGSpec
+	Params []Param
 }
 
 // ID returns the stable scenario identifier used for seed derivation and in
@@ -41,145 +43,21 @@ func (sc *Scenario) ID() string {
 	return sc.spec.Name + "/" + strings.Join(parts, ",")
 }
 
-// generationAxes are the sweep axes that feed the workload generator's RNG.
-// Axes outside this set (policy, load, cluster shape) are excluded from the
-// workload seed, so cells differing only in those axes face the identical
-// generated job set per replica — paired comparisons (common random
-// numbers), not cross-workload sampling noise.
-var generationAxes = map[string]bool{"class": true, "arrival": true, "jobs": true}
-
 // WorkloadID identifies the cell's generated workload: the spec name plus
-// only the generation-relevant axis assignments.
+// only the generation-relevant (Generative) axis assignments. Axes outside
+// that set (policy, load, shape, technique) are excluded from the workload
+// seed, so cells differing only in those axes face the identical generated
+// input per replica — paired comparisons (common random numbers), not
+// cross-workload sampling noise.
 func (sc *Scenario) WorkloadID() string {
+	axes := sc.domain.Axes()
 	var parts []string
 	for _, p := range sc.Params {
-		if generationAxes[p.Axis] {
+		if axes[p.Axis].Generative {
 			parts = append(parts, p.Axis+"="+p.Value)
 		}
 	}
 	return sc.spec.Name + "/workload/" + strings.Join(parts, ",")
-}
-
-// axisDef describes one sweepable dimension: how to type-check a swept value
-// and how to apply it to a concrete scenario.
-type axisDef struct {
-	// check validates one swept value (type and name resolution).
-	check func(v any) error
-	// apply sets the value on the scenario and returns its rendering.
-	apply func(sc *Scenario, v any) string
-	// canon renders a valid value in canonical form for duplicate
-	// detection, so alias spellings ("sci"/"scientific") collide; nil
-	// means formatValue is already canonical.
-	canon func(v any) string
-}
-
-// axes is the catalog of sweepable dimensions.
-var axes = map[string]axisDef{
-	"policy": {
-		check: func(v any) error { return checkName(v, validPolicy) },
-		apply: func(sc *Scenario, v any) string {
-			sc.Policy = v.(string)
-			return v.(string)
-		},
-		// Resolve through the registry so any spelling sched accepts
-		// ("easy-bf", "EASYBF") collapses to one canonical name.
-		canon: func(v any) string {
-			if isPortfolio(v.(string)) {
-				return PolicyPortfolio
-			}
-			p, _ := sched.PolicyByName(v.(string))
-			return p.Name()
-		},
-	},
-	"class": {
-		check: func(v any) error {
-			return checkName(v, func(s string) error { _, err := workload.ClassByName(s); return err })
-		},
-		apply: func(sc *Scenario, v any) string {
-			sc.Workload.Class = v.(string)
-			sc.Workload.Trace = ""
-			return v.(string)
-		},
-		canon: func(v any) string {
-			c, _ := workload.ClassByName(v.(string))
-			return c.String()
-		},
-	},
-	"arrival": {
-		check: func(v any) error {
-			return checkName(v, func(s string) error { _, err := workload.ArrivalsByName(s, nil); return err })
-		},
-		canon: func(v any) string { return strings.ToLower(v.(string)) },
-		apply: func(sc *Scenario, v any) string {
-			name := v.(string)
-			// Keep the base spec's parameter overrides when it names the
-			// same family; other families start from their defaults.
-			params := map[string]float64(nil)
-			if a := sc.spec.Workload.Arrival; a != nil && strings.EqualFold(a.Process, name) {
-				params = a.Params
-			}
-			sc.Workload.Arrival = &ArrivalSpec{Process: name, Params: params}
-			return name
-		},
-	},
-	"load": {
-		check: func(v any) error { return checkFloat(v, 0) },
-		apply: func(sc *Scenario, v any) string {
-			sc.Workload.Load = v.(float64)
-			return formatValue(v)
-		},
-	},
-	"jobs": {
-		check: func(v any) error { return checkInt(v, 1) },
-		apply: func(sc *Scenario, v any) string {
-			sc.Workload.Jobs = int(v.(float64))
-			return formatValue(v)
-		},
-	},
-	"kind": {
-		check: func(v any) error {
-			return checkName(v, func(s string) error { _, err := cluster.KindByName(s); return err })
-		},
-		apply: func(sc *Scenario, v any) string {
-			sc.Cluster.Kind = v.(string)
-			return v.(string)
-		},
-		canon: func(v any) string {
-			k, _ := cluster.KindByName(v.(string))
-			return k.String()
-		},
-	},
-	"sites": {
-		check: func(v any) error { return checkInt(v, 1) },
-		apply: func(sc *Scenario, v any) string {
-			sc.Cluster.Sites = int(v.(float64))
-			return formatValue(v)
-		},
-	},
-	"machines": {
-		check: func(v any) error { return checkInt(v, 1) },
-		apply: func(sc *Scenario, v any) string {
-			sc.Cluster.Machines = int(v.(float64))
-			return formatValue(v)
-		},
-	},
-	"cores": {
-		check: func(v any) error { return checkInt(v, 1) },
-		apply: func(sc *Scenario, v any) string {
-			sc.Cluster.Cores = int(v.(float64))
-			return formatValue(v)
-		},
-	},
-}
-
-// AxisNames returns the sweepable axis names in sorted order.
-func AxisNames() []string {
-	out := make([]string, 0, len(axes))
-	for name := range axes {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
 }
 
 func checkName(v any, resolve func(string) error) error {
@@ -239,12 +117,16 @@ func (s *Spec) sweepAxes() []string {
 	return out
 }
 
-func (s *Spec) validateSweep(bad func(string, ...any)) {
+// validateSweep checks every swept axis and value against the domain's axis
+// catalog.
+func (s *Spec) validateSweep(d Domain, bad func(string, ...any)) {
+	axes := d.Axes()
 	cells := 1
 	for _, name := range s.sweepAxes() {
 		def, ok := axes[name]
 		if !ok {
-			bad("sweep.%s: unknown axis (known: %s)", name, strings.Join(AxisNames(), ", "))
+			bad("sweep.%s: unknown axis (domain %s sweeps: %s)",
+				name, d.Name(), strings.Join(AxisNames(d), ", "))
 			continue
 		}
 		values := s.Sweep[name]
@@ -255,15 +137,15 @@ func (s *Spec) validateSweep(bad func(string, ...any)) {
 		cells *= len(values)
 		seen := map[string]bool{}
 		for i, v := range values {
-			if err := def.check(v); err != nil {
+			if err := def.Check(v); err != nil {
 				bad("sweep.%s[%d]: %v", name, i, err)
 				continue
 			}
 			// Compare canonical forms so alias spellings ("sci" vs
 			// "scientific") count as duplicates too.
 			r := formatValue(v)
-			if def.canon != nil {
-				r = def.canon(v)
+			if def.Canon != nil {
+				r = def.Canon(v)
 			}
 			if seen[r] {
 				bad("sweep.%s[%d]: duplicate value %s", name, i, formatValue(v))
@@ -285,7 +167,18 @@ func Expand(s *Spec) ([]Scenario, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	base := Scenario{spec: s, Workload: s.Workload, Cluster: s.Cluster, Policy: s.Policy}
+	d, err := s.domainImpl()
+	if err != nil {
+		return nil, err
+	}
+	axes := d.Axes()
+	base := Scenario{spec: s, domain: d, Workload: s.Workload, Cluster: s.Cluster, Policy: s.Policy}
+	if s.Autoscale != nil {
+		base.Autoscale = *s.Autoscale
+	}
+	if s.MMOG != nil {
+		base.MMOG = *s.MMOG
+	}
 	cells := []Scenario{base}
 	for _, name := range s.sweepAxes() {
 		def := axes[name]
@@ -294,7 +187,7 @@ func Expand(s *Spec) ([]Scenario, error) {
 			for _, v := range s.Sweep[name] {
 				nc := cell
 				nc.Params = append(append([]Param(nil), cell.Params...), Param{Axis: name})
-				rendered := def.apply(&nc, v)
+				rendered := def.Apply(&nc, v)
 				nc.Params[len(nc.Params)-1].Value = rendered
 				next = append(next, nc)
 			}

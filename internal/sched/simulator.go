@@ -1,9 +1,10 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"atlarge/internal/cluster"
 	"atlarge/internal/sim"
@@ -271,7 +272,7 @@ func (s *Simulator) reservationTime(cpus int) sim.Time {
 				continue
 			}
 			slots := s.estFinish[m]
-			sort.Slice(slots, func(i, j int) bool { return slots[i].at < slots[j].at })
+			slices.SortStableFunc(slots, func(a, b estSlot) int { return cmp.Compare(a.at, b.at) })
 			free := m.Free()
 			if free >= cpus {
 				return s.k.Now()

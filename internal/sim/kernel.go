@@ -2,9 +2,10 @@
 //
 // The kernel is the substrate shared by every simulator in this repository:
 // the datacenter/cluster simulator, the BitTorrent ecosystem simulator, the
-// MMOG world simulator, and the FaaS platform simulator. It offers a virtual
-// clock, a binary-heap event queue with stable FIFO ordering for simultaneous
-// events, named deterministic RNG streams, and run-termination conditions.
+// MMOG world simulator, the FaaS platform simulator, and the autoscaling
+// engines. It offers a virtual clock, a 4-ary-heap event queue with stable
+// FIFO ordering for simultaneous events, named deterministic RNG streams,
+// and run-termination conditions.
 //
 // A Kernel is single-goroutine by design: handlers run sequentially in
 // virtual-time order, so simulation state needs no locking. Determinism is a
@@ -13,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,48 +35,29 @@ func Seconds(d time.Duration) Duration { return Duration(d.Seconds()) }
 // so handlers can schedule follow-up events.
 type Handler func(k *Kernel)
 
-// event is a scheduled callback.
+// event is a scheduled callback. Fired and discarded events return to the
+// kernel's free list and are reused by later At/After calls; gen distinguishes
+// the incarnations so a stale EventRef cannot cancel a recycled event.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among simultaneous events
 	fn   Handler
 	name string
-	dead bool // cancelled
-}
-
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	dead bool   // cancelled
+	gen  uint32 // incremented every time the struct is recycled
 }
 
 // EventRef identifies a scheduled event so it can be cancelled.
-type EventRef struct{ ev *event }
+type EventRef struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel marks the referenced event as dead; the kernel discards it when it
 // reaches the head of the queue. Cancelling an already-fired or already-
 // cancelled event is a no-op.
 func (r EventRef) Cancel() {
-	if r.ev != nil {
+	if r.ev != nil && r.ev.gen == r.gen {
 		r.ev.dead = true
 	}
 }
@@ -90,7 +71,8 @@ var ErrStopped = errors.New("sim: stopped")
 // The zero value is not usable; construct with NewKernel.
 type Kernel struct {
 	now     Time
-	queue   eventQueue
+	queue   []*event // 4-ary min-heap ordered by (at, seq)
+	free    []*event // recycled event structs
 	seq     uint64
 	seed    int64
 	streams map[string]*rand.Rand
@@ -136,16 +118,113 @@ func (k *Kernel) Rand(stream string) *rand.Rand {
 	return r
 }
 
+// less orders events by (at, seq): virtual time first, FIFO among ties.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// The event queue is a 4-ary implicit heap: children of i live at 4i+1..4i+4.
+// Compared to the binary heap it halves the tree depth, so sift-up (the hot
+// path when events are mostly scheduled in time order) does half the
+// comparisons and the node's four children share cache lines on sift-down.
+
+// push appends e and restores the heap property bottom-up.
+func (k *Kernel) push(e *event) {
+	q := k.queue
+	i := len(q)
+	q = append(q, e)
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	k.queue = q
+}
+
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() *event {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	if n > 0 {
+		// Sift the former tail down from the root.
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if less(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !less(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	k.queue = q
+	return top
+}
+
+// alloc takes an event struct from the free list (or the allocator) and
+// stamps it with the next sequence number.
+func (k *Kernel) alloc(at Time, name string, fn Handler) *event {
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	k.seq++
+	e.at = at
+	e.seq = k.seq
+	e.fn = fn
+	e.name = name
+	e.dead = false
+	return e
+}
+
+// recycle returns a popped event to the free list. Bumping gen invalidates
+// every outstanding EventRef to this incarnation.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.name = ""
+	e.dead = false
+	k.free = append(k.free, e)
+}
+
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // (before Now) panics: it would corrupt causality.
 func (k *Kernel) At(at Time, name string, fn Handler) EventRef {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, k.now))
 	}
-	k.seq++
-	e := &event{at: at, seq: k.seq, fn: fn, name: name}
-	heap.Push(&k.queue, e)
-	return EventRef{ev: e}
+	e := k.alloc(at, name, fn)
+	k.push(e)
+	return EventRef{ev: e, gen: e.gen}
 }
 
 // After schedules fn to run delay seconds from now. Negative delays panic.
@@ -169,12 +248,14 @@ func (k *Kernel) Run() error {
 		if k.stopped {
 			return ErrStopped
 		}
-		e := heap.Pop(&k.queue).(*event)
+		e := k.pop()
 		if e.dead {
+			k.recycle(e)
 			continue
 		}
 		if k.horizon > 0 && e.at > k.horizon {
 			k.now = k.horizon
+			k.recycle(e)
 			return nil
 		}
 		if e.at < k.now {
@@ -182,7 +263,9 @@ func (k *Kernel) Run() error {
 		}
 		k.now = e.at
 		k.fired++
-		e.fn(k)
+		fn := e.fn
+		k.recycle(e)
+		fn(k)
 	}
 	if k.stopped {
 		return ErrStopped
@@ -194,8 +277,9 @@ func (k *Kernel) Run() error {
 // executed. It is intended for tests and debuggers.
 func (k *Kernel) Step() (bool, error) {
 	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*event)
+		e := k.pop()
 		if e.dead {
+			k.recycle(e)
 			continue
 		}
 		if e.at < k.now {
@@ -203,7 +287,9 @@ func (k *Kernel) Step() (bool, error) {
 		}
 		k.now = e.at
 		k.fired++
-		e.fn(k)
+		fn := e.fn
+		k.recycle(e)
+		fn(k)
 		return true, nil
 	}
 	return false, nil

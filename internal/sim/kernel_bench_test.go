@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkKernelSchedule measures bulk scheduling plus draining: N events
+// are pushed at pseudo-random times, then executed in order. This is the
+// heap-dominated pattern of trace-driven simulators (all arrivals known up
+// front).
+func BenchmarkKernelSchedule(b *testing.B) {
+	const n = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		at := uint64(0)
+		for j := 0; j < n; j++ {
+			// xorshift keeps the times pseudo-random without math/rand cost.
+			at ^= at << 13
+			at ^= at >> 7
+			at ^= at << 17
+			at += uint64(j) + 1
+			k.At(Time(at%100000), "e", nop)
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(n), "events/op")
+}
+
+// BenchmarkKernelChurn measures the self-rescheduling tick pattern of
+// event-driven simulators (timers, eval intervals, world ticks): a small set
+// of live timers, each firing and rescheduling itself, so the queue stays
+// shallow while push/pop churn is constant. This is where event-struct reuse
+// matters most.
+func BenchmarkKernelChurn(b *testing.B) {
+	const ticks = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		for w := 0; w < 8; w++ {
+			fired := 0
+			var tick Handler
+			period := Duration(1 + float64(w)*0.37)
+			tick = func(k *Kernel) {
+				fired++
+				if fired < ticks/8 {
+					k.After(period, "tick", tick)
+				}
+			}
+			k.After(period, "tick", tick)
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ticks), "events/op")
+}
+
+// BenchmarkKernelCancel measures the cancel-heavy pattern of simulators with
+// speculative timers (reservation timeouts, backfill guards): every second
+// event is cancelled before it can fire.
+func BenchmarkKernelCancel(b *testing.B) {
+	const n = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		refs := make([]EventRef, 0, n/2)
+		for j := 0; j < n; j++ {
+			ref := k.At(Time(j%977), "e", nop)
+			if j%2 == 1 {
+				refs = append(refs, ref)
+			}
+		}
+		for _, r := range refs {
+			r.Cancel()
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "events/op")
+}
+
+// nop is the empty handler used by the benchmarks so they measure kernel
+// overhead, not handler work.
+func nop(*Kernel) {}

@@ -1,9 +1,10 @@
 package stats
 
 import (
+	"cmp"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Pearson returns the Pearson correlation coefficient of paired samples. It
@@ -35,7 +36,7 @@ func ranks(xs []float64) []float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(xs[a], xs[b]) })
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
