@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden clean
+.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke clean
 
 all: build lint test
 
@@ -64,6 +64,35 @@ scenario-golden:
 		cmp "$$tmp/p1.json" internal/scenario/testdata/$$spec.golden.json; \
 		echo "scenario-golden: $$spec OK"; \
 	done
+
+# Pin the machine-readable experiment catalog against its committed golden,
+# so `atlarge list --format json` (and the serve API's /v1/experiments,
+# which emits the same document) cannot drift silently. Regenerate with
+#   go run ./cmd/atlarge list --format json > cmd/atlarge/testdata/catalog.golden.json
+# after an intentional catalog change.
+catalog-golden:
+	@$(GO) run ./cmd/atlarge list --format json | cmp - cmd/atlarge/testdata/catalog.golden.json
+	@echo "catalog-golden: OK"
+
+# End-to-end smoke of `atlarge serve`: boot it on an ephemeral port, check
+# /v1/experiments matches the committed catalog golden, and hit one /v1/run
+# twice — the second (cached) response must be byte-identical to the first.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill "$$pid" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/atlarge" ./cmd/atlarge; \
+	"$$tmp/atlarge" serve --addr 127.0.0.1:0 > "$$tmp/serve.log" 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q "serving" "$$tmp/serve.log" 2>/dev/null && break; sleep 0.2; \
+	done; \
+	url=$$(sed -n 's|.*\(http://[0-9.:]*\).*|\1|p' "$$tmp/serve.log"); \
+	test -n "$$url" || { echo "serve-smoke: server never came up"; cat "$$tmp/serve.log"; exit 1; }; \
+	curl -fsS "$$url/v1/experiments" > "$$tmp/catalog.json"; \
+	cmp "$$tmp/catalog.json" cmd/atlarge/testdata/catalog.golden.json; \
+	curl -fsS "$$url/v1/run?ids=fig9&seed=7" > "$$tmp/run1.json"; \
+	curl -fsS "$$url/v1/run?ids=fig9&seed=7" > "$$tmp/run2.json"; \
+	cmp "$$tmp/run1.json" "$$tmp/run2.json"; \
+	echo "serve-smoke: OK"
 
 clean:
 	$(GO) clean ./...

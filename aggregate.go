@@ -1,0 +1,206 @@
+package atlarge
+
+// Replica aggregation in value space (Results API v2).
+//
+// AggregateReports folds the typed replica documents of one experiment into
+// one aggregated document: every metric and every numeric table cell becomes
+// the replica mean with a 95% CI half-width, matched positionally under
+// exact label equality. Nothing is re-parsed from rendered text, so digits
+// inside labels ("P2", "fig8") can never be mistaken for replica-varying
+// data — the failure mode of the regex-skeleton aggregation this replaces.
+
+import "atlarge/internal/stats"
+
+// AggregateReports merges replica reports of one experiment into an
+// aggregated document. Structure is matched positionally:
+//
+//   - a metric aggregates when every replica carries the same name at the
+//     same index; otherwise the replica-0 metrics are kept as they are;
+//   - a table row aggregates when every replica agrees on its shape and on
+//     every label cell exactly; a row with any label mismatch keeps its
+//     replica-0 cells untouched;
+//   - a series aggregates pointwise when name, X, and length agree;
+//   - notes are narrative and always keep the replica-0 text.
+//
+// Values identical across replicas stay exact with a zero CI. The result is
+// independent of execution order, so aggregated output is byte-identical at
+// any parallelism level. Fewer than two reports return nil.
+func AggregateReports(reports []*Report) *Report {
+	if len(reports) < 2 {
+		return nil
+	}
+	for _, rep := range reports {
+		if rep == nil {
+			return nil
+		}
+	}
+	base := reports[0]
+	agg := &Report{
+		ID:      base.ID,
+		Title:   base.Title,
+		Metrics: aggregateMetrics(reports),
+		Notes:   append([]string(nil), base.Notes...),
+	}
+	for ti := range base.Tables {
+		agg.Tables = append(agg.Tables, aggregateTable(reports, ti))
+	}
+	for si := range base.Series {
+		agg.Series = append(agg.Series, aggregateSeries(reports, si))
+	}
+	return agg
+}
+
+// aggregateMetrics merges the metric blocks; any name/index mismatch keeps
+// the replica-0 metrics verbatim.
+func aggregateMetrics(reports []*Report) []Metric {
+	base := reports[0]
+	if len(base.Metrics) == 0 {
+		return nil
+	}
+	out := append([]Metric(nil), base.Metrics...)
+	for _, rep := range reports[1:] {
+		if len(rep.Metrics) != len(base.Metrics) {
+			return out
+		}
+		for i, m := range rep.Metrics {
+			if m.Name != base.Metrics[i].Name {
+				return out
+			}
+		}
+	}
+	values := make([]float64, len(reports))
+	for i := range out {
+		for ri, rep := range reports {
+			values[ri] = rep.Metrics[i].Value
+		}
+		out[i].Value, out[i].CI95 = meanCI(values)
+	}
+	return out
+}
+
+// aggregateTable merges one table position across replicas.
+func aggregateTable(reports []*Report, ti int) *Table {
+	base := reports[0].Tables[ti]
+	out := &Table{
+		Name:    base.Name,
+		Columns: append([]string(nil), base.Columns...),
+		Rows:    make([][]Cell, len(base.Rows)),
+	}
+	aligned := true
+	for _, rep := range reports[1:] {
+		if ti >= len(rep.Tables) || len(rep.Tables[ti].Rows) != len(base.Rows) {
+			aligned = false
+			break
+		}
+	}
+	for ri, row := range base.Rows {
+		if aligned {
+			out.Rows[ri] = aggregateRow(reports, ti, ri, row)
+		} else {
+			out.Rows[ri] = append([]Cell(nil), row...)
+		}
+	}
+	return out
+}
+
+// aggregateRow merges one row: value cells become mean (+CI when varying);
+// the whole row keeps its replica-0 cells on any shape, kind, or label
+// mismatch — labels must match exactly, never approximately.
+func aggregateRow(reports []*Report, ti, ri int, baseRow []Cell) []Cell {
+	for _, rep := range reports[1:] {
+		row := rep.Tables[ti].Rows[ri]
+		if len(row) != len(baseRow) {
+			return append([]Cell(nil), baseRow...)
+		}
+		for ci, c := range row {
+			b := baseRow[ci]
+			if c.IsValue() != b.IsValue() {
+				return append([]Cell(nil), baseRow...)
+			}
+			if !b.IsValue() && c.Label != b.Label {
+				return append([]Cell(nil), baseRow...)
+			}
+		}
+	}
+	out := make([]Cell, len(baseRow))
+	values := make([]float64, len(reports))
+	for ci, b := range baseRow {
+		out[ci] = b
+		if !b.IsValue() {
+			continue
+		}
+		for ri2, rep := range reports {
+			values[ri2] = *rep.Tables[ti].Rows[ri][ci].Value
+		}
+		mean, hw := meanCI(values)
+		out[ci].Value = &mean
+		if hw != 0 {
+			out[ci].CI95 = &hw
+		}
+	}
+	return out
+}
+
+// aggregateSeries merges one series position pointwise when every replica
+// agrees on name, length, and X; otherwise the replica-0 series is kept.
+func aggregateSeries(reports []*Report, si int) *Series {
+	base := reports[0].Series[si]
+	copySeries := func() *Series {
+		return &Series{
+			Name: base.Name,
+			Unit: base.Unit,
+			X:    append([]float64(nil), base.X...),
+			Y:    append([]float64(nil), base.Y...),
+		}
+	}
+	for _, rep := range reports[1:] {
+		if si >= len(rep.Series) {
+			return copySeries()
+		}
+		s := rep.Series[si]
+		if s.Name != base.Name || len(s.Y) != len(base.Y) || len(s.X) != len(base.X) {
+			return copySeries()
+		}
+		for i, x := range s.X {
+			if x != base.X[i] {
+				return copySeries()
+			}
+		}
+	}
+	out := copySeries()
+	values := make([]float64, len(reports))
+	var cis []float64
+	varying := false
+	for i := range base.Y {
+		for ri, rep := range reports {
+			values[ri] = rep.Series[si].Y[i]
+		}
+		var hw float64
+		out.Y[i], hw = meanCI(values)
+		cis = append(cis, hw)
+		if hw != 0 {
+			varying = true
+		}
+	}
+	if varying {
+		out.YCI95 = cis
+	}
+	return out
+}
+
+// meanCI aggregates replica values: constants stay exact with a zero CI (a
+// float mean of identical values could drift by an ulp and would render a
+// spurious ±); varying values become mean and 95% CI half-width.
+func meanCI(values []float64) (float64, float64) {
+	constant := true
+	for _, v := range values[1:] {
+		if v != values[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		return values[0], 0
+	}
+	return stats.Mean(values), stats.HalfWidth95(values)
+}

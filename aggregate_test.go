@@ -1,0 +1,138 @@
+package atlarge
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAggregateLabelDigitsUntouched is the regression test for the latent
+// bug of the retired regex-skeleton aggregation: digits embedded in labels
+// ("P2 (Category)", "fig8") were indistinguishable from data, so a label
+// digit adjacent to replica-varying fields could be averaged into nonsense.
+// Typed aggregation matches labels exactly and only ever touches value
+// cells, so label digits survive verbatim no matter how the values vary.
+func TestAggregateLabelDigitsUntouched(t *testing.T) {
+	mk := func(v float64) *Report {
+		rep := NewReport("x", "x")
+		tb := rep.AddTable("rows", "label", "value")
+		tb.AddRow(Label("P2 (process)"), Num(v, "%.2f"))
+		tb.AddRow(Label("fig8 baseline"), Num(v*2, "%.2f"))
+		rep.AddMetric(Metric{Name: "score", Value: v})
+		return rep
+	}
+	agg := AggregateReports([]*Report{mk(1), mk(2), mk(3)})
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	rows := agg.Tables[0].Rows
+	if rows[0][0].Label != "P2 (process)" || rows[1][0].Label != "fig8 baseline" {
+		t.Errorf("label digits rewritten: %q, %q", rows[0][0].Label, rows[1][0].Label)
+	}
+	if got := *rows[0][1].Value; got != 2 {
+		t.Errorf("value mean = %v, want 2", got)
+	}
+	if rows[0][1].CI95 == nil || *rows[0][1].CI95 == 0 {
+		t.Error("varying value cell lost its CI")
+	}
+	if agg.Metrics[0].Value != 2 || agg.Metrics[0].CI95 == 0 {
+		t.Errorf("metric aggregate = %+v, want mean 2 with CI", agg.Metrics[0])
+	}
+	// The rendered text keeps the labels verbatim too.
+	text := strings.Join(agg.Lines(), "\n")
+	if !strings.Contains(text, "P2 (process)") || !strings.Contains(text, "fig8 baseline") {
+		t.Errorf("rendered labels mangled:\n%s", text)
+	}
+}
+
+// TestAggregateLabelMismatchKeepsReplicaZero pins exact label matching: a
+// row whose label differs in any replica keeps its replica-0 cells, values
+// included.
+func TestAggregateLabelMismatchKeepsReplicaZero(t *testing.T) {
+	mk := func(mode string, v float64) *Report {
+		rep := NewReport("x", "x")
+		tb := rep.AddTable("rows")
+		tb.AddRow(Label(mode), Num(v, ""))
+		tb.AddRow(Label("stable"), Num(v, ""))
+		return rep
+	}
+	agg := AggregateReports([]*Report{mk("warm", 3), mk("cold", 5)})
+	rows := agg.Tables[0].Rows
+	if rows[0][0].Label != "warm" || *rows[0][1].Value != 3 || rows[0][1].CI95 != nil {
+		t.Errorf("mismatched-label row aggregated: %+v", rows[0])
+	}
+	// The aligned row still aggregates.
+	if *rows[1][1].Value != 4 || rows[1][1].CI95 == nil {
+		t.Errorf("aligned row not aggregated: %+v", rows[1])
+	}
+}
+
+func TestAggregateConstantStaysExact(t *testing.T) {
+	mk := func() *Report {
+		rep := NewReport("x", "x")
+		rep.AddMetric(Metric{Name: "n", Value: 0.1})
+		tb := rep.AddTable("t")
+		tb.AddRow(Num(0.3, ""))
+		return rep
+	}
+	agg := AggregateReports([]*Report{mk(), mk(), mk()})
+	if agg.Metrics[0].Value != 0.1 || agg.Metrics[0].CI95 != 0 {
+		t.Errorf("constant metric drifted: %+v", agg.Metrics[0])
+	}
+	if c := agg.Tables[0].Rows[0][0]; *c.Value != 0.3 || c.CI95 != nil {
+		t.Errorf("constant cell drifted: %+v", c)
+	}
+}
+
+func TestAggregateMetricNameMismatchKeepsReplicaZero(t *testing.T) {
+	a := NewReport("x", "x")
+	a.AddMetric(Metric{Name: "alpha", Value: 1})
+	b := NewReport("x", "x")
+	b.AddMetric(Metric{Name: "beta", Value: 9})
+	agg := AggregateReports([]*Report{a, b})
+	if agg.Metrics[0].Name != "alpha" || agg.Metrics[0].Value != 1 || agg.Metrics[0].CI95 != 0 {
+		t.Errorf("mismatched metrics aggregated: %+v", agg.Metrics[0])
+	}
+}
+
+func TestAggregateSeriesPointwise(t *testing.T) {
+	mk := func(y0, y1 float64) *Report {
+		rep := NewReport("x", "x")
+		rep.AddSeries(&Series{Name: "s", X: []float64{10, 20}, Y: []float64{y0, y1}})
+		return rep
+	}
+	agg := AggregateReports([]*Report{mk(1, 5), mk(3, 5)})
+	s := agg.Series[0]
+	if !reflect.DeepEqual(s.X, []float64{10, 20}) {
+		t.Errorf("X changed: %v", s.X)
+	}
+	if !reflect.DeepEqual(s.Y, []float64{2, 5}) {
+		t.Errorf("Y mean = %v, want [2 5]", s.Y)
+	}
+	if len(s.YCI95) != 2 || s.YCI95[0] == 0 || s.YCI95[1] != 0 {
+		t.Errorf("YCI95 = %v, want [nonzero 0]", s.YCI95)
+	}
+}
+
+func TestAggregateNotesKeepReplicaZero(t *testing.T) {
+	a := NewReport("x", "x")
+	a.AddNote("stopped after 3 iterations")
+	b := NewReport("x", "x")
+	b.AddNote("stopped after 7 iterations")
+	agg := AggregateReports([]*Report{a, b})
+	if len(agg.Notes) != 1 || agg.Notes[0] != "stopped after 3 iterations" {
+		t.Errorf("notes aggregated: %v", agg.Notes)
+	}
+}
+
+func TestAggregateFewerThanTwo(t *testing.T) {
+	if AggregateReports(nil) != nil {
+		t.Error("nil input aggregated")
+	}
+	if AggregateReports([]*Report{NewReport("x", "x")}) != nil {
+		t.Error("single replica aggregated")
+	}
+	if AggregateReports([]*Report{NewReport("x", "x"), nil}) != nil {
+		t.Error("nil replica aggregated")
+	}
+}

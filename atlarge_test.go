@@ -51,7 +51,7 @@ func TestRunQuickExperiments(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if rep.ID != id || rep.Title == "" || len(rep.Rows) == 0 {
+			if rep.ID != id || rep.Title == "" || len(rep.Metrics) == 0 {
 				t.Errorf("report = %+v", rep)
 			}
 		})
@@ -69,13 +69,14 @@ func TestRunAllExperiments(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(rep.Rows) == 0 {
-				t.Error("empty report")
+			// Acceptance: every registered experiment emits typed metrics.
+			if len(rep.Metrics) == 0 {
+				t.Error("no typed metrics")
 			}
-			for _, row := range rep.Rows {
-				if strings.TrimSpace(row) == "" {
-					t.Error("blank row")
-				}
+			// The derived text rendering must carry content (blank lines are
+			// legitimate section separators).
+			if strings.TrimSpace(strings.Join(rep.Lines(), "\n")) == "" {
+				t.Error("empty text rendering")
 			}
 		})
 	}

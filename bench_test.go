@@ -27,12 +27,12 @@ func report(b *testing.B, id string) {
 	}
 	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
 		b.Logf("== %s ==", rep.Title)
-		for _, row := range rep.Rows {
-			b.Log(row)
+		for _, line := range rep.Lines() {
+			b.Log(line)
 		}
 	}
-	if len(rep.Rows) == 0 {
-		b.Fatal("empty report")
+	if len(rep.Metrics) == 0 {
+		b.Fatal("report without metrics")
 	}
 }
 
@@ -100,8 +100,8 @@ func BenchmarkAllExperiments(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(rep.Rows) == 0 {
-				b.Fatal(fmt.Sprintf("experiment %s produced no rows", id))
+			if len(rep.Metrics) == 0 {
+				b.Fatal(fmt.Sprintf("experiment %s produced no metrics", id))
 			}
 		}
 	}

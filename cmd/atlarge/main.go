@@ -5,6 +5,7 @@
 //
 //	atlarge list [-tag T] [--domains] [--format text|json]
 //	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]
+//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N]
 //	atlarge scenario validate <spec.json> [--domain D]
 //	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
 //	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
@@ -14,7 +15,13 @@
 // run executes the requested experiments (or the whole catalog with --all)
 // on a bounded worker pool. Seeds are derived per experiment and replica, so
 // reports are identical for every --parallel level; --format json emits the
-// machine-readable report set.
+// typed result documents (Results API v2: named metrics, structured tables,
+// series — see the README's Results API section).
+//
+// serve exposes the same results over HTTP: GET /v1/experiments (catalog),
+// GET /v1/run?ids=&seed=&replicas= (typed results, LRU-cached per
+// (experiment, seed, replicas) so repeated queries skip the simulation), and
+// POST /v1/scenario/sweep (a scenario spec as the request body).
 //
 // scenario drives the declarative what-if engine (internal/scenario):
 // validate checks a spec and reports every problem, run executes an unswept
@@ -30,10 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"slices"
 	"strings"
 
 	"atlarge"
+	"atlarge/internal/api"
 	"atlarge/internal/scenario"
 )
 
@@ -79,35 +90,9 @@ func run(args []string) error {
 	return runTo(os.Stdout, args)
 }
 
-// jsonReport is one experiment in the --format json output. It carries no
-// timing, so output for a fixed seed is byte-identical across runs and
-// parallelism levels.
-type jsonReport struct {
-	ID        string   `json:"id"`
-	Title     string   `json:"title"`
-	Seed      int64    `json:"seed"`
-	Replicas  int      `json:"replicas"`
-	Rows      []string `json:"rows"`
-	Aggregate []string `json:"aggregate,omitempty"`
-}
-
-type jsonOutput struct {
-	Seed        int64        `json:"seed"`
-	Experiments []jsonReport `json:"experiments"`
-}
-
-// listEntry is one experiment in `list --format json`, so tooling can
-// discover the catalog the same way it discovers scenarios.
-type listEntry struct {
-	ID    string   `json:"id"`
-	Title string   `json:"title"`
-	Tags  []string `json:"tags,omitempty"`
-	Order int      `json:"order"`
-}
-
 func runTo(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: atlarge <list|run|scenario> [args] (see 'go doc atlarge/cmd/atlarge')")
+		return fmt.Errorf("usage: atlarge <list|run|serve|scenario> [args] (see 'go doc atlarge/cmd/atlarge')")
 	}
 	switch args[0] {
 	case "list":
@@ -124,21 +109,18 @@ func runTo(w io.Writer, args []string) error {
 		if *domains {
 			return listDomains(w, *format)
 		}
-		var entries []listEntry
-		for _, e := range atlarge.DefaultRegistry().Experiments() {
-			if *tag != "" && !e.HasTag(*tag) {
+		entries := []api.CatalogEntry{}
+		for _, e := range api.Catalog(atlarge.DefaultRegistry()) {
+			if *tag != "" && !slices.Contains(e.Tags, *tag) {
 				continue
 			}
 			if *format == "text" {
 				fmt.Fprintln(w, e.ID)
 				continue
 			}
-			entries = append(entries, listEntry{ID: e.ID, Title: e.Title, Tags: e.Tags, Order: e.Order})
+			entries = append(entries, e)
 		}
 		if *format == "json" {
-			if entries == nil {
-				entries = []listEntry{}
-			}
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			return enc.Encode(entries)
@@ -179,35 +161,41 @@ func runTo(w io.Writer, args []string) error {
 			return err
 		}
 		if *format == "json" {
-			out := jsonOutput{Seed: *seed}
-			for _, res := range results {
-				out.Experiments = append(out.Experiments, jsonReport{
-					ID:        res.ID,
-					Title:     res.Title,
-					Seed:      res.Seed,
-					Replicas:  len(res.Reports),
-					Rows:      res.Report.Rows,
-					Aggregate: res.Aggregate,
-				})
-			}
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			return enc.Encode(out)
+			return atlarge.NewRunDocument(*seed, results).WriteJSON(w)
 		}
 		for _, res := range results {
 			fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title)
-			for _, row := range res.Report.Rows {
-				fmt.Fprintln(w, "  "+row)
+			if err := res.Report.WriteText(w, "  "); err != nil {
+				return err
 			}
-			if len(res.Aggregate) > 0 {
+			if res.Aggregate != nil {
 				fmt.Fprintf(w, "  -- aggregate over %d replicas (mean±95%% CI) --\n", len(res.Reports))
-				for _, row := range res.Aggregate {
-					fmt.Fprintln(w, "  "+row)
+				if err := res.Aggregate.WriteText(w, "  "); err != nil {
+					return err
 				}
 			}
 			fmt.Fprintln(w)
 		}
 		return nil
+	case "serve":
+		fs := newFlagSet("serve")
+		var (
+			addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+			parallel = fs.Int("parallel", 0, "worker pool size behind the API (0 = GOMAXPROCS)")
+			cache    = fs.Int("cache", 256, "LRU result-cache capacity in (experiment, seed, replicas) entries")
+		)
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		srv := api.New(api.Config{Parallelism: *parallel, CacheSize: *cache})
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		// The listen line goes out before blocking so scripts (and `make
+		// serve-smoke`) can scrape the bound port even with --addr :0.
+		fmt.Fprintf(w, "serving Results API v2 on http://%s\n", ln.Addr())
+		return http.Serve(ln, srv)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

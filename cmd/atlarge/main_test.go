@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"atlarge"
 )
 
 func TestRunUsageErrors(t *testing.T) {
@@ -77,25 +79,30 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	if seq.String() != par.String() {
 		t.Error("parallel JSON differs from sequential")
 	}
-	var out struct {
-		Seed        int64 `json:"seed"`
-		Experiments []struct {
-			ID        string   `json:"id"`
-			Replicas  int      `json:"replicas"`
-			Rows      []string `json:"rows"`
-			Aggregate []string `json:"aggregate"`
-		} `json:"experiments"`
-	}
+	var out atlarge.RunDocument
 	if err := json.Unmarshal(seq.Bytes(), &out); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
 	if out.Seed != 11 || len(out.Experiments) != 3 {
 		t.Fatalf("unexpected shape: %+v", out)
 	}
+	ciSeen := false // fig9 is seed-independent; fig7 and bdc vary
 	for _, e := range out.Experiments {
-		if e.Replicas != 2 || len(e.Rows) == 0 || len(e.Aggregate) == 0 {
+		if e.Replicas != 2 || e.Report == nil || e.Aggregate == nil {
 			t.Errorf("experiment %s incomplete: %+v", e.ID, e)
+			continue
 		}
+		if len(e.Report.Metrics) == 0 {
+			t.Errorf("experiment %s has no typed metrics", e.ID)
+		}
+		for _, m := range e.Aggregate.Metrics {
+			if m.CI95 != 0 {
+				ciSeen = true
+			}
+		}
+	}
+	if !ciSeen {
+		t.Error("no aggregate metric carries a CI")
 	}
 }
 
@@ -353,5 +360,54 @@ func TestScenarioDomainSweepsParallelParity(t *testing.T) {
 		if render("1") != render("8") {
 			t.Errorf("%s sweep JSON differs between --parallel 1 and --parallel 8", tc.domain)
 		}
+	}
+}
+
+// TestRunAllJSONParallelParity pins the acceptance criterion of the typed
+// Results API: `run --all --format json` is byte-identical at --parallel 1
+// and --parallel 8. Skipped in -short (the catalog includes the slow tab9).
+func TestRunAllJSONParallelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog sweep is slow")
+	}
+	render := func(parallel string) string {
+		var buf bytes.Buffer
+		args := []string{"run", "--all", "--seed", "42", "--replicas", "2",
+			"--parallel", parallel, "--format", "json"}
+		if err := runTo(&buf, args); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render("1") != render("8") {
+		t.Error("run --all JSON differs between --parallel 1 and --parallel 8")
+	}
+}
+
+// TestCatalogGolden pins `list --format json` against the committed catalog
+// golden (also enforced end-to-end by `make catalog-golden` in CI), so the
+// machine-readable catalog cannot drift silently.
+func TestCatalogGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo(&buf, []string{"list", "--format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "catalog.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(golden) {
+		t.Errorf("catalog JSON differs from testdata/catalog.golden.json; regenerate it if the change is intentional:\n%s", buf.String())
+	}
+}
+
+// TestServeSubcommandFlagErrors keeps the serve flag set honest without
+// binding a socket.
+func TestServeSubcommandFlagErrors(t *testing.T) {
+	if err := runTo(&bytes.Buffer{}, []string{"serve", "--bogus"}); err == nil {
+		t.Error("unknown serve flag accepted")
+	}
+	if err := runTo(&bytes.Buffer{}, []string{"serve", "--addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("unlistenable address accepted")
 	}
 }

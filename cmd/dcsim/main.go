@@ -8,6 +8,9 @@
 //
 // With -replicas > 1 the simulation repeats under derived seeds and the
 // metrics are reported as mean ± half-width of a 95% confidence interval.
+// Each replica produces a typed atlarge.Report; replicas aggregate in value
+// space through atlarge.AggregateReports (Results API v2), and the JSON
+// output keeps its original flat schema.
 package main
 
 import (
@@ -22,7 +25,6 @@ import (
 	"atlarge/internal/cluster"
 	"atlarge/internal/portfolio"
 	"atlarge/internal/sched"
-	"atlarge/internal/stats"
 	"atlarge/internal/workload"
 )
 
@@ -33,7 +35,9 @@ func main() {
 	}
 }
 
-// metrics is one replica's outcome, or (with CI set) the aggregate.
+// metrics is the flat JSON document: one replica's outcome, or (with CI
+// set) the aggregate. The schema predates the typed Results API and is kept
+// stable for downstream tooling.
 type metrics struct {
 	Policy       string  `json:"policy"`
 	Workload     string  `json:"workload"`
@@ -79,7 +83,7 @@ func run() error {
 		}
 	}
 
-	var slowdowns, responses []float64
+	reports := make([]*atlarge.Report, 0, *replicas)
 	for rep := 0; rep < *replicas; rep++ {
 		// Replica 0 runs the base seed (so a single run reproduces the
 		// classic -seed behavior); further replicas use the shared seed
@@ -88,13 +92,18 @@ func run() error {
 		if rep > 0 {
 			repSeed = atlarge.DeriveSeed(*seed, "dcsim", rep)
 		}
-		sd, resp, err := runOnce(class, kind, *policyName, *jobs, repSeed, *format == "text" && *replicas == 1)
+		r, err := runOnce(class, kind, *policyName, *jobs, repSeed)
 		if err != nil {
 			return err
 		}
-		slowdowns = append(slowdowns, sd)
-		responses = append(responses, resp)
+		reports = append(reports, r)
 	}
+	summary := reports[0]
+	if agg := atlarge.AggregateReports(reports); agg != nil {
+		summary = agg
+	}
+	slowdown, _ := summary.Metric("mean_slowdown")
+	response, _ := summary.Metric("mean_response_s")
 
 	m := metrics{
 		Policy:       *policyName,
@@ -102,10 +111,10 @@ func run() error {
 		Environment:  kind.String(),
 		Jobs:         *jobs,
 		Replicas:     *replicas,
-		MeanSlowdown: stats.Mean(slowdowns),
-		MeanResponse: stats.Mean(responses),
-		SlowdownCI:   stats.HalfWidth95(slowdowns),
-		ResponseCI:   stats.HalfWidth95(responses),
+		MeanSlowdown: slowdown.Value,
+		MeanResponse: response.Value,
+		SlowdownCI:   slowdown.CI95,
+		ResponseCI:   response.CI95,
 	}
 	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)
@@ -116,13 +125,16 @@ func run() error {
 		fmt.Printf("%s on %s/%s over %d replicas: mean slowdown %.2f±%.2f, mean response %.0f±%.0fs\n",
 			m.Policy, m.Workload, m.Environment, m.Replicas,
 			m.MeanSlowdown, m.SlowdownCI, m.MeanResponse, m.ResponseCI)
+		return nil
 	}
-	return nil
+	fmt.Printf("== %s: %s ==\n", summary.ID, summary.Title)
+	return summary.WriteText(os.Stdout, "  ")
 }
 
-// runOnce executes one simulation replica and returns (mean slowdown, mean
-// response). With verbose set it prints the full per-window/per-job detail.
-func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs int, seed int64, verbose bool) (float64, float64, error) {
+// runOnce executes one simulation replica and returns its typed report.
+// Every variant emits mean_slowdown and mean_response_s first, so replica
+// documents align for value-space aggregation.
+func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs int, seed int64) (*atlarge.Report, error) {
 	tr := workload.StandardGenerator(class).Generate(jobs, rand.New(rand.NewSource(seed)))
 	envFactory := func() *cluster.Environment { return cluster.StandardEnvironment(kind) }
 
@@ -136,30 +148,34 @@ func runOnce(class workload.Class, kind cluster.Kind, policyName string, jobs in
 		}
 		res, err := s.Run(tr)
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
-		if verbose {
-			fmt.Printf("portfolio scheduler on %s/%s: %d windows, mean slowdown %.2f, mean response %.0fs, %d selection sims\n",
-				class, kind, len(res.Choices), res.MeanSlowdown, res.MeanResponse, res.TotalSimRuns)
-			for _, c := range res.Choices {
-				fmt.Printf("  window %2d -> %-10s realized slowdown %.2f\n", c.Window, c.Policy, c.Realized)
-			}
+		rep := atlarge.NewReport("dcsim", fmt.Sprintf("portfolio scheduler on %s/%s", class, kind))
+		rep.AddMetric(atlarge.Metric{Name: "mean_slowdown", Value: res.MeanSlowdown})
+		rep.AddMetric(atlarge.Metric{Name: "mean_response_s", Value: res.MeanResponse, Unit: "s"})
+		rep.AddMetric(atlarge.Metric{Name: "windows", Value: float64(len(res.Choices))})
+		rep.AddMetric(atlarge.Metric{Name: "selection_sims", Value: float64(res.TotalSimRuns)})
+		t := rep.AddTable("windows", "window", "policy", "realized_slowdown")
+		for _, c := range res.Choices {
+			t.AddRow(atlarge.Count(c.Window), atlarge.Label(c.Policy), atlarge.Num(c.Realized, "%.2f"))
 		}
-		return res.MeanSlowdown, res.MeanResponse, nil
+		return rep, nil
 	}
 
 	policy, err := sched.PolicyByName(policyName)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	res, err := sched.NewSimulator(envFactory(), tr, policy, seed).Run()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	if verbose {
-		fmt.Printf("%s on %s/%s: %d jobs, makespan %.0fs, mean slowdown %.2f, mean wait %.0fs, utilization %.2f\n",
-			policy.Name(), class, kind, len(res.Jobs), float64(res.Makespan),
-			res.MeanSlowdown, res.MeanWait, res.UtilizationMean)
-	}
-	return res.MeanSlowdown, float64(res.MeanResponse), nil
+	rep := atlarge.NewReport("dcsim", fmt.Sprintf("%s on %s/%s", policy.Name(), class, kind))
+	rep.AddMetric(atlarge.Metric{Name: "mean_slowdown", Value: res.MeanSlowdown})
+	rep.AddMetric(atlarge.Metric{Name: "mean_response_s", Value: float64(res.MeanResponse), Unit: "s"})
+	rep.AddMetric(atlarge.Metric{Name: "jobs", Value: float64(len(res.Jobs))})
+	rep.AddMetric(atlarge.Metric{Name: "makespan_s", Value: float64(res.Makespan), Unit: "s"})
+	rep.AddMetric(atlarge.Metric{Name: "mean_wait_s", Value: res.MeanWait, Unit: "s"})
+	rep.AddMetric(atlarge.Metric{Name: "utilization", Value: res.UtilizationMean, HigherBetter: true})
+	return rep, nil
 }

@@ -34,12 +34,12 @@ func main() {
 	for _, res := range results {
 		fmt.Printf("== %s (seed %d, %d replicas, %v) ==\n",
 			res.ID, res.Seed, len(res.Reports), res.Elapsed.Round(1e6))
-		rows := res.Aggregate
-		if len(rows) == 0 {
-			rows = res.Report.Rows
+		rep := res.Aggregate
+		if rep == nil {
+			rep = res.Report
 		}
-		for _, row := range rows {
-			fmt.Println("  " + row)
+		for _, line := range rep.Lines() {
+			fmt.Println("  " + line)
 		}
 		fmt.Println()
 	}

@@ -1,7 +1,6 @@
 package atlarge
 
 import (
-	"fmt"
 	"sort"
 
 	"atlarge/internal/autoscale"
@@ -24,7 +23,7 @@ func runAutoscale(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "autoscale", Title: "§6.7: autoscaling experiments (in-vitro + in-silico)"}
+	rep := NewReport("autoscale", "§6.7: autoscaling experiments (in-vitro + in-silico)")
 	var names []string
 	for n := range res.Vitro {
 		names = append(names, n)
@@ -38,16 +37,21 @@ func runAutoscale(seed int64) (*Report, error) {
 		}
 		return names[i] < names[j]
 	})
+	t := rep.AddTable("policies",
+		"policy", "avg_rank", "grade", "acc_under", "acc_over",
+		"tshare_under", "tshare_over", "response", "slowdown", "cost_per_h", "deadline_miss")
 	for _, n := range names {
 		m := res.Vitro[n]
-		rep.Rows = append(rep.Rows, fmt.Sprintf(
-			"%-8s rank=%.1f grade=%.2f accU=%.3f accO=%.3f tU=%.2f tO=%.2f resp=%.0fs slowdown=%.2f cost/h=$%.2f miss=%.0f%%",
-			n, res.AvgRankVitro[n], res.GradesVitro[n],
-			m.AccuracyUnder, m.AccuracyOver, m.TimeshareUnder, m.TimeshareOver,
-			m.MeanResponse, m.MeanSlowdown, res.CostByModel["per-hour"][n], m.DeadlineMissPct))
+		t.AddRow(Label(n),
+			Num(res.AvgRankVitro[n], "%.1f"), Num(res.GradesVitro[n], "%.2f"),
+			Num(m.AccuracyUnder, "%.3f"), Num(m.AccuracyOver, "%.3f"),
+			Num(m.TimeshareUnder, "%.2f"), Num(m.TimeshareOver, "%.2f"),
+			NumUnit(m.MeanResponse, "%.0f", "s"), Num(m.MeanSlowdown, "%.2f"),
+			NumUnit(res.CostByModel["per-hour"][n], "%.2f", "$"),
+			NumUnit(m.DeadlineMissPct, "%.0f", "%"))
 	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"in-vitro vs in-silico rank correlation (Spearman) = %.2f (corroborating but not identical)",
-		res.RankCorrelation))
+	rep.AddMetric(Metric{
+		Name: "rank_correlation_spearman", Value: res.RankCorrelation, HigherBetter: true})
+	rep.AddNote("in-vitro vs in-silico rankings corroborate but are not identical")
 	return rep, nil
 }

@@ -1,9 +1,7 @@
 package atlarge
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"atlarge/internal/biblio"
 )
@@ -39,10 +37,14 @@ func runFig1(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "fig1", Title: "Figure 1: keyword presence in top systems venues (2013-2018)"}
+	rep := NewReport("fig1", "Figure 1: keyword presence in top systems venues (2013-2018)")
+	t := rep.AddTable("keywords", "keyword", "articles")
+	total := 0
 	for _, kc := range biblio.Figure1(corpus) {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-18s %6d", kc.Keyword, kc.Count))
+		t.AddRow(Label(kc.Keyword), Count(kc.Count))
+		total += kc.Count
 	}
+	rep.AddMetric(Metric{Name: "keyword_articles_total", Value: float64(total), HigherBetter: true})
 	return rep, nil
 }
 
@@ -53,7 +55,7 @@ func runFig2(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "fig2", Title: "Figure 2: design articles per venue per 5-year block since 1980"}
+	rep := NewReport("fig2", "Figure 2: design articles per venue per 5-year block since 1980")
 	rows := biblio.Figure2(corpus)
 	byVenue := map[string][]biblio.BlockCount{}
 	var venues []string
@@ -64,19 +66,27 @@ func runFig2(seed int64) (*Report, error) {
 		byVenue[r.Venue] = append(byVenue[r.Venue], r)
 	}
 	trend := biblio.Figure2Trend(rows)
+	t := rep.AddTable("venues", "venue", "designs_total", "post_2000_increase")
+	grandTotal, increasing := 0, 0
 	for _, v := range venues {
-		var parts []string
+		s := &Series{Name: v}
 		total := 0
 		for _, b := range byVenue[v] {
-			parts = append(parts, fmt.Sprintf("%d:%d", b.BlockStart, b.Designs))
+			s.X = append(s.X, float64(b.BlockStart))
+			s.Y = append(s.Y, float64(b.Designs))
 			total += b.Designs
 		}
-		mark := ""
+		rep.AddSeries(s)
+		mark := "no"
 		if trend[v] {
-			mark = "  [post-2000 increase]"
+			mark = "yes"
+			increasing++
 		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s total=%-5d %s%s", v, total, strings.Join(parts, " "), mark))
+		t.AddRow(Label(v), Count(total), Label(mark))
+		grandTotal += total
 	}
+	rep.AddMetric(Metric{Name: "design_articles_total", Value: float64(grandTotal), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "venues_with_post2000_increase", Value: float64(increasing), HigherBetter: true})
 	return rep, nil
 }
 
@@ -91,23 +101,28 @@ func runFig3(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "fig3", Title: "Figure 3: violin summaries of review scores (merit/quality/topic)"}
+	rep := NewReport("fig3", "Figure 3: violin summaries of review scores (merit/quality/topic)")
 	var cats []string
 	for c := range violins {
 		cats = append(cats, c)
 	}
 	sort.Strings(cats)
+	t := rep.AddTable("violins",
+		"category", "aspect", "n", "mean", "median", "q1", "q3", "whisker_lo", "whisker_hi")
 	for _, c := range cats {
 		for _, aspect := range []biblio.Aspect{biblio.AspectMerit, biblio.AspectQuality, biblio.AspectTopic} {
 			v := violins[c][aspect]
-			rep.Rows = append(rep.Rows, fmt.Sprintf(
-				"%-22s %-8s n=%-4d mean=%.2f median=%.1f IQR=[%.1f,%.1f] whiskers=[%.1f,%.1f]",
-				c, aspect, v.N, v.Mean, v.Median, v.Q1, v.Q3, v.WhiskerLo, v.WhiskerHi))
+			t.AddRow(Label(c), Label(string(aspect)), Count(v.N),
+				Num(v.Mean, "%.2f"), Num(v.Median, "%.1f"),
+				Num(v.Q1, "%.1f"), Num(v.Q3, "%.1f"),
+				Num(v.WhiskerLo, "%.1f"), Num(v.WhiskerHi, "%.1f"))
 		}
 	}
 	f := biblio.AnalyzeFigure3(reviews, violins)
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"findings: design merit mean %.2f vs non-design %.2f; %.0f%% of design subs score <3; topic median %.1f",
-		f.DesignMeritMean, f.NonDesignMeritMean, f.DesignBelow3Pct, f.TopicMedian))
+	rep.AddMetric(Metric{Name: "design_merit_mean", Value: f.DesignMeritMean, HigherBetter: true})
+	rep.AddMetric(Metric{Name: "non_design_merit_mean", Value: f.NonDesignMeritMean, HigherBetter: true})
+	rep.AddMetric(Metric{Name: "design_below3_pct", Value: f.DesignBelow3Pct, Unit: "%"})
+	rep.AddMetric(Metric{Name: "topic_median", Value: f.TopicMedian, HigherBetter: true})
+	rep.AddNote("design submissions score lower on merit than non-design submissions despite on-topic ratings")
 	return rep, nil
 }

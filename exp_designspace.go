@@ -1,9 +1,6 @@
 package atlarge
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 func init() {
 	defaultRegistry.MustRegister(Experiment{
@@ -20,17 +17,17 @@ func runFig7(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "fig7", Title: "Figures 6-7: design-space exploration processes"}
+	rep := NewReport("fig7", "Figures 6-7: design-space exploration processes")
 	var names []string
 	for n := range res.Outcomes {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	t := rep.AddTable("processes", "process", "attempts", "solutions", "failures", "hit_rate")
 	for _, n := range names {
 		o := res.Outcomes[n]
-		rep.Rows = append(rep.Rows, fmt.Sprintf(
-			"%-14s attempts=%-4d solutions=%-3d failures=%-4d hit-rate=%.3f",
-			n, o.Attempts, o.Solutions, o.Failures, o.HitRate))
+		t.AddRow(Label(n), Count(o.Attempts), Count(o.Solutions), Count(o.Failures),
+			Num(o.HitRate, "%.3f"))
 	}
 	co := res.CoEvolving
 	h1, h2 := 0.0, 0.0
@@ -40,8 +37,12 @@ func runFig7(seed int64) (*Report, error) {
 	if co.Phase2.Attempts > 0 {
 		h2 = float64(co.Phase2.Solutions) / float64(co.Phase2.Attempts)
 	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"co-evolving phases: problem-1 hit-rate %.3f -> after evolution %.3f (evolved=%v)",
-		h1, h2, co.Evolved))
+	evolved := 0.0
+	if co.Evolved {
+		evolved = 1
+	}
+	rep.AddMetric(Metric{Name: "coevolve_phase1_hit_rate", Value: h1, HigherBetter: true})
+	rep.AddMetric(Metric{Name: "coevolve_phase2_hit_rate", Value: h2, HigherBetter: true})
+	rep.AddMetric(Metric{Name: "coevolve_evolved", Value: evolved, HigherBetter: true})
 	return rep, nil
 }

@@ -1,10 +1,6 @@
 package atlarge
 
-import (
-	"fmt"
-
-	"atlarge/internal/faas"
-)
+import "atlarge/internal/faas"
 
 func init() {
 	defaultRegistry.MustRegister(Experiment{
@@ -21,9 +17,11 @@ func runTab7(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "tab7", Title: "Table 7: co-evolving problem-solutions in serverless"}
+	rep := NewReport("tab7", "Table 7: co-evolving problem-solutions in serverless")
+	t := rep.AddTable("studies", "study", "feature", "finding")
 	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-22s %-26s %s", r.Study, r.Feature, r.Finding))
+		t.AddRow(Label(r.Study), Label(r.Feature), Label(r.Finding))
 	}
+	rep.AddMetric(Metric{Name: "studies", Value: float64(len(rows)), HigherBetter: true})
 	return rep, nil
 }

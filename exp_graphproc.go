@@ -1,7 +1,6 @@
 package atlarge
 
 import (
-	"fmt"
 	"sort"
 
 	"atlarge/internal/graphproc"
@@ -24,28 +23,30 @@ func runTab8(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "tab8", Title: "Table 8: the Graphalytics ecosystem and the PAD/HPAD laws"}
+	rep := NewReport("tab8", "Table 8: the Graphalytics ecosystem and the PAD/HPAD laws")
 	pad, err := graphproc.AnalyzePAD(res)
 	if err != nil {
 		return nil, err
 	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"PAD law: %d distinct winning platforms; variance split platform=%.2f workload=%.2f interaction=%.2f",
-		pad.DistinctWinners, pad.PlatformFrac, pad.WorkloadFrac, pad.InteractionFrac))
+	rep.AddMetric(Metric{Name: "pad_distinct_winners", Value: float64(pad.DistinctWinners), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "variance_frac_platform", Value: pad.PlatformFrac})
+	rep.AddMetric(Metric{Name: "variance_frac_workload", Value: pad.WorkloadFrac})
+	rep.AddMetric(Metric{Name: "variance_frac_interaction", Value: pad.InteractionFrac})
 	var cols []string
 	for c := range pad.WinnerByColumn {
 		cols = append(cols, c)
 	}
 	sort.Strings(cols)
+	t := rep.AddTable("winners", "column", "winner")
 	for _, c := range cols {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("winner %-18s %s", c, pad.WinnerByColumn[c]))
+		t.AddRow(Label(c), Label(pad.WinnerByColumn[c]))
 	}
 	hpad, err := graphproc.AnalyzeHPAD(res, cfg.Engines)
 	if err != nil {
 		return nil, err
 	}
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"HPAD: winners without H=%d, with H=%d; heterogeneous platform wins %d columns",
-		hpad.WinnersWithoutH, hpad.WinnersWithH, hpad.HWinsColumns))
+	rep.AddMetric(Metric{Name: "hpad_winners_without_h", Value: float64(hpad.WinnersWithoutH), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "hpad_winners_with_h", Value: float64(hpad.WinnersWithH), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "hpad_h_wins_columns", Value: float64(hpad.HWinsColumns), HigherBetter: true})
 	return rep, nil
 }

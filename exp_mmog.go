@@ -1,10 +1,6 @@
 package atlarge
 
-import (
-	"fmt"
-
-	"atlarge/internal/mmog"
-)
+import "atlarge/internal/mmog"
 
 func init() {
 	defaultRegistry.MustRegister(Experiment{
@@ -18,9 +14,11 @@ func init() {
 
 func runTab6(seed int64) (*Report, error) {
 	rows := mmog.RunTable6(seed)
-	rep := &Report{ID: "tab6", Title: "Table 6: co-evolving problem-solutions in MMOG"}
+	rep := NewReport("tab6", "Table 6: co-evolving problem-solutions in MMOG")
+	t := rep.AddTable("studies", "study", "feature", "finding")
 	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-12s %-28s %s", r.Study, r.Feature, r.Finding))
+		t.AddRow(Label(r.Study), Label(r.Feature), Label(r.Finding))
 	}
+	rep.AddMetric(Metric{Name: "studies", Value: float64(len(rows)), HigherBetter: true})
 	return rep, nil
 }

@@ -1,10 +1,6 @@
 package atlarge
 
-import (
-	"fmt"
-
-	"atlarge/internal/p2p"
-)
+import "atlarge/internal/p2p"
 
 func init() {
 	defaultRegistry.MustRegister(Experiment{
@@ -21,9 +17,11 @@ func runTab5(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "tab5", Title: "Table 5: co-evolving problem-solutions in P2P"}
+	rep := NewReport("tab5", "Table 5: co-evolving problem-solutions in P2P")
+	t := rep.AddTable("studies", "study", "feature", "finding")
 	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-18s %-22s %s", r.Study, r.Feature, r.Finding))
+		t.AddRow(Label(r.Study), Label(r.Feature), Label(r.Finding))
 	}
+	rep.AddMetric(Metric{Name: "studies", Value: float64(len(rows)), HigherBetter: true})
 	return rep, nil
 }

@@ -1,10 +1,6 @@
 package atlarge
 
-import (
-	"fmt"
-
-	"atlarge/internal/portfolio"
-)
+import "atlarge/internal/portfolio"
 
 func init() {
 	defaultRegistry.MustRegister(Experiment{
@@ -23,13 +19,24 @@ func runTab9(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "tab9", Title: "Table 9: portfolio scheduling across workloads and environments"}
+	rep := NewReport("tab9", "Table 9: portfolio scheduling across workloads and environments")
+	t := rep.AddTable("portfolio",
+		"study", "workload", "environment", "portfolio_slowdown",
+		"best_static", "best_policy", "worst_static", "worst_policy",
+		"selection_regret_pct", "finding", "next_question")
+	var regretSum, psSum float64
 	for _, r := range rows {
-		rep.Rows = append(rep.Rows, fmt.Sprintf(
-			"%-22s W=%-8s Env=%-5s PS=%.2f best=%.2f(%s) worst=%.2f(%s) regret=%+.1f%% -> %s | next: %s",
-			r.Study, r.Workload, r.Environment, r.Portfolio,
-			r.BestStatic, r.BestPolicy, r.WorstStatic, r.WorstPolicy,
-			100*r.SelectionRegret, r.Finding, r.NewQuestion))
+		t.AddRow(Label(r.Study), Label(r.Workload), Label(r.Environment),
+			Num(r.Portfolio, "%.2f"),
+			Num(r.BestStatic, "%.2f"), Label(r.BestPolicy),
+			Num(r.WorstStatic, "%.2f"), Label(r.WorstPolicy),
+			NumUnit(100*r.SelectionRegret, "%+.1f", "%"),
+			Label(r.Finding), Label(r.NewQuestion))
+		regretSum += 100 * r.SelectionRegret
+		psSum += r.Portfolio
 	}
+	n := float64(len(rows))
+	rep.AddMetric(Metric{Name: "mean_portfolio_slowdown", Value: psSum / n})
+	rep.AddMetric(Metric{Name: "mean_selection_regret_pct", Value: regretSum / n, Unit: "%"})
 	return rep, nil
 }

@@ -1,7 +1,6 @@
 package atlarge
 
 import (
-	"fmt"
 	"strings"
 
 	"atlarge/internal/refarch"
@@ -22,24 +21,27 @@ func runFig9() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{ID: "fig9", Title: "Figure 9: datacenter reference architecture coverage"}
+	rep := NewReport("fig9", "Figure 9: datacenter reference architecture coverage")
 	cov := refarch.AnalyzeCoverage(reg)
-	rep.Rows = append(rep.Rows, fmt.Sprintf(
-		"components=%d old-architecture places %d, new architecture places %d",
-		cov.Total, cov.OldPlaceable, cov.NewPlaceable))
-	rep.Rows = append(rep.Rows, "unplaceable in old architecture: "+strings.Join(cov.Unplaceable, ", "))
+	rep.AddMetric(Metric{Name: "components_total", Value: float64(cov.Total), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "old_arch_placeable", Value: float64(cov.OldPlaceable), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "new_arch_placeable", Value: float64(cov.NewPlaceable), HigherBetter: true})
+	rep.AddMetric(Metric{Name: "old_arch_unplaceable", Value: float64(len(cov.Unplaceable))})
+	rep.AddNote("unplaceable in old architecture: %s", strings.Join(cov.Unplaceable, ", "))
+	lt := rep.AddTable("layers", "layer", "name", "components")
 	for _, l := range refarch.Layers() {
 		var names []string
 		for _, c := range reg.ByLayer(l) {
 			names = append(names, c.Name)
 		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("layer %d %-18s %s", int(l), l.String()+":", strings.Join(names, ", ")))
+		lt.AddRow(Count(int(l)), Label(l.String()), Label(strings.Join(names, ", ")))
 	}
+	mt := rep.AddTable("mappings", "ecosystem", "components")
 	for _, m := range refarch.IndustryMappings() {
 		if err := refarch.ValidateMapping(reg, m); err != nil {
 			return nil, err
 		}
-		rep.Rows = append(rep.Rows, fmt.Sprintf("mapping %-28s %d components OK", m.Ecosystem, len(m.Components)))
+		mt.AddRow(Label(m.Ecosystem), Count(len(m.Components)))
 	}
 	return rep, nil
 }

@@ -1,12 +1,5 @@
 package atlarge
 
-// Report is the printable outcome of one reproduced paper artifact.
-type Report struct {
-	ID    string
-	Title string
-	Rows  []string
-}
-
 // Experiments lists the reproducible artifact IDs in canonical order.
 func Experiments() []string {
 	return DefaultRegistry().IDs()

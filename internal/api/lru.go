@@ -1,0 +1,75 @@
+// Package api serves experiment and scenario results over HTTP — the
+// `atlarge serve` layer of the Results API v2. Results are machine-readable
+// typed documents, so they can feed programmatic design cycles; an LRU cache
+// keyed by (experiment, seed, replicas) answers repeated queries without
+// re-simulating.
+package api
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a small concurrency-safe LRU map. The zero value is unusable;
+// use newLRU.
+type lruCache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *entry[K, V]
+	items    map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key   K
+	value V
+}
+
+// newLRU returns a cache bounded to capacity entries (minimum 1).
+func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[K, V]).value, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache[K, V]) Put(key K, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, value: value})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,323 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"atlarge"
+	"atlarge/internal/scenario"
+)
+
+// maxSpecBytes bounds a /v1/scenario/sweep request body; real specs are a
+// few KiB, so 1 MiB is generous while keeping the server un-OOM-able.
+const maxSpecBytes = 1 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Registry supplies the experiment catalog; nil means the default
+	// built-in catalog.
+	Registry *atlarge.Registry
+	// Parallelism bounds the worker pool behind /v1/run and
+	// /v1/scenario/sweep; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// CacheSize caps the LRU result cache (entries, one per cached
+	// (experiment, seed, replicas) triple); <= 0 means 256.
+	CacheSize int
+	// MaxReplicas rejects run requests asking for more replicas; <= 0
+	// means 64.
+	MaxReplicas int
+}
+
+// runKey identifies one cached experiment result: results are cached per
+// experiment, not per request, so overlapping id sets share entries.
+type runKey struct {
+	id       string
+	seed     int64
+	replicas int
+}
+
+// Server is the HTTP face of the Results API v2:
+//
+//	GET  /v1/experiments                     the experiment catalog
+//	GET  /v1/run?ids=&seed=&replicas=        typed run results (LRU-cached)
+//	POST /v1/scenario/sweep?seed=&replicas=  expand + run a scenario spec body
+//
+// All responses are JSON; run results are byte-identical for a fixed query
+// at any parallelism and across cache hits and misses.
+type Server struct {
+	cfg   Config
+	cache *lruCache[runKey, atlarge.ExperimentResult]
+	mux   *http.ServeMux
+
+	// mu guards inflight (and makes the cache-lookup/flight-registration
+	// pair atomic): concurrent identical misses coalesce onto one flight
+	// instead of re-running the same simulation.
+	mu       sync.Mutex
+	inflight map[runKey]*flight
+}
+
+// flight is one in-progress computation of a runKey; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  atlarge.ExperimentResult
+	err  error
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = atlarge.DefaultRegistry()
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRU[runKey, atlarge.ExperimentResult](cfg.CacheSize),
+		mux:      http.NewServeMux(),
+		inflight: make(map[runKey]*flight),
+	}
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/scenario/sweep", s.handleScenarioSweep)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CatalogEntry is one experiment in GET /v1/experiments — the same document
+// `atlarge list --format json` prints.
+type CatalogEntry struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Tags  []string `json:"tags,omitempty"`
+	Order int      `json:"order"`
+}
+
+// Catalog renders a registry as catalog entries in canonical order.
+func Catalog(reg *atlarge.Registry) []CatalogEntry {
+	entries := make([]CatalogEntry, 0, reg.Len())
+	for _, e := range reg.Experiments() {
+		entries = append(entries, CatalogEntry{ID: e.ID, Title: e.Title, Tags: e.Tags, Order: e.Order})
+	}
+	return entries
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Catalog(s.cfg.Registry))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seed, err := queryInt64(q.Get("seed"), 42)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad seed: %v", err)
+		return
+	}
+	replicas, err := queryInt(q.Get("replicas"), 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad replicas: %v", err)
+		return
+	}
+	if replicas < 1 || replicas > s.cfg.MaxReplicas {
+		writeError(w, http.StatusBadRequest, "replicas must be in 1..%d", s.cfg.MaxReplicas)
+		return
+	}
+	ids := splitIDs(q.Get("ids"))
+	if len(ids) == 0 {
+		ids = s.cfg.Registry.IDs()
+	}
+	for _, id := range ids {
+		if _, err := s.cfg.Registry.Get(id); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
+
+	// Serve each experiment from the (id, seed, replicas) cache. Misses
+	// either join an identical in-flight computation (so two concurrent
+	// queries for the slow tab9 simulate it once) or are claimed by this
+	// request and computed in one runner invocation, fanning out over the
+	// worker pool.
+	results := make(map[string]atlarge.ExperimentResult, len(ids))
+	owned := make(map[string]*flight)
+	joined := make(map[string]*flight)
+	s.mu.Lock()
+	for _, id := range ids {
+		key := runKey{id, seed, replicas}
+		if res, ok := s.cache.Get(key); ok {
+			results[id] = res
+			continue
+		}
+		if f, ok := s.inflight[key]; ok {
+			joined[id] = f
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		owned[id] = f
+	}
+	s.mu.Unlock()
+
+	var runErr error
+	if len(owned) > 0 {
+		// Keyed off the owned set (not ids) so a duplicated id in the query
+		// runs once; result bytes are order-independent because seeds derive
+		// from (baseSeed, id, replica) alone.
+		toRun := make([]string, 0, len(owned))
+		for id := range owned {
+			toRun = append(toRun, id)
+		}
+		runner := &atlarge.Runner{
+			Registry:    s.cfg.Registry,
+			Parallelism: s.cfg.Parallelism,
+			Replicas:    replicas,
+		}
+		runResults, err := runner.Run(toRun, seed)
+		runErr = err
+		byID := make(map[string]atlarge.ExperimentResult)
+		if runResults != nil {
+			for _, res := range atlarge.NewRunDocument(seed, runResults).Experiments {
+				byID[res.ID] = res
+			}
+		}
+		// Settle every owned flight — success or failure — before any
+		// early return, so joined waiters never block forever.
+		s.mu.Lock()
+		for id, f := range owned {
+			key := runKey{id, seed, replicas}
+			if res, ok := byID[id]; ok {
+				f.res = res
+				s.cache.Put(key, res)
+				results[id] = res
+			} else {
+				f.err = err
+				if f.err == nil {
+					f.err = fmt.Errorf("atlarge: experiment %s produced no result", id)
+				}
+				runErr = f.err
+			}
+			delete(s.inflight, key)
+			close(f.done)
+		}
+		s.mu.Unlock()
+	}
+	for id, f := range joined {
+		<-f.done
+		if f.err != nil && runErr == nil {
+			runErr = f.err
+		}
+		results[id] = f.res
+	}
+	if runErr != nil {
+		writeError(w, http.StatusInternalServerError, "%v", runErr)
+		return
+	}
+
+	doc := &atlarge.RunDocument{Seed: seed}
+	for _, id := range ids {
+		doc.Experiments = append(doc.Experiments, results[id])
+	}
+	cacheState := "hit"
+	if misses := len(owned) + len(joined); misses == len(ids) {
+		cacheState = "miss"
+	} else if misses > 0 {
+		cacheState = "partial"
+	}
+	w.Header().Set("X-Atlarge-Cache", cacheState)
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleScenarioSweep(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
+	spec, err := scenario.Parse(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "spec body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	opt := scenario.Options{Parallelism: s.cfg.Parallelism}
+	if raw := q.Get("seed"); raw != "" {
+		seed, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed: %v", err)
+			return
+		}
+		opt.Seed = &seed
+	}
+	if raw := q.Get("replicas"); raw != "" {
+		replicas, err := strconv.Atoi(raw)
+		if err != nil || replicas < 1 || replicas > s.cfg.MaxReplicas {
+			writeError(w, http.StatusBadRequest, "replicas must be in 1..%d", s.cfg.MaxReplicas)
+			return
+		}
+		opt.Replicas = replicas
+	}
+	cells, err := scenario.Expand(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := scenario.Run(spec, cells, opt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rep.WriteJSON(w)
+}
+
+// splitIDs parses the comma-separated ids parameter.
+func splitIDs(raw string) []string {
+	var out []string
+	for _, id := range strings.Split(raw, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func queryInt64(raw string, def int64) (int64, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(raw, 10, 64)
+}
+
+func queryInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.Atoi(raw)
+}
+
+// writeJSON emits a JSON body with the canonical two-space indent, matching
+// the CLI byte for byte.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the canonical JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"atlarge"
 )
 
 // A Domain is one simulator opened to the declarative what-if engine: it
@@ -54,20 +56,14 @@ type AxisDef struct {
 	Generative bool
 }
 
-// MetricDef is one metric a domain emits.
-type MetricDef struct {
-	// Name is the metric key in reports.
-	Name string `json:"name"`
-	// HigherBetter is the comparison direction for highlighting; false
-	// (the default) means lower is better.
-	HigherBetter bool `json:"higher_better,omitempty"`
-}
+// MetricDef is one metric a domain emits: the shared atlarge catalog entry
+// (name + comparison direction), so experiment and scenario outputs speak
+// one metric vocabulary.
+type MetricDef = atlarge.MetricDef
 
-// MetricValue is one emitted measurement of a cell run.
-type MetricValue struct {
-	Name  string
-	Value float64
-}
+// MetricValue is one emitted measurement of a cell run — the same typed
+// metric sample the experiment reports carry.
+type MetricValue = atlarge.Metric
 
 // domains is the registry of simulators opened to the scenario engine.
 var domains = map[string]Domain{}

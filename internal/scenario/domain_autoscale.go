@@ -200,16 +200,16 @@ func (autoscaleDomain) Run(sc *Scenario, workloadSeed, simSeed int64) ([]MetricV
 	}
 	m := autoscale.ComputeMetrics(st)
 	return []MetricValue{
-		{MetricJobs, float64(st.JobsDone)},
-		{MetricMeanResponse, m.MeanResponse},
-		{MetricMeanSlowdown, m.MeanSlowdown},
-		{MetricAccuracyUnder, m.AccuracyUnder},
-		{MetricAccuracyOver, m.AccuracyOver},
-		{MetricTimeshareUnder, m.TimeshareUnder},
-		{MetricTimeshareOver, m.TimeshareOver},
-		{MetricInstability, m.Instability},
-		{MetricJitter, m.Jitter},
-		{MetricCoreSeconds, m.CoreSeconds},
-		{MetricDeadlineMissPct, m.DeadlineMissPct},
+		{Name: MetricJobs, Value: float64(st.JobsDone)},
+		{Name: MetricMeanResponse, Value: m.MeanResponse},
+		{Name: MetricMeanSlowdown, Value: m.MeanSlowdown},
+		{Name: MetricAccuracyUnder, Value: m.AccuracyUnder},
+		{Name: MetricAccuracyOver, Value: m.AccuracyOver},
+		{Name: MetricTimeshareUnder, Value: m.TimeshareUnder},
+		{Name: MetricTimeshareOver, Value: m.TimeshareOver},
+		{Name: MetricInstability, Value: m.Instability},
+		{Name: MetricJitter, Value: m.Jitter},
+		{Name: MetricCoreSeconds, Value: m.CoreSeconds},
+		{Name: MetricDeadlineMissPct, Value: m.DeadlineMissPct},
 	}, nil
 }

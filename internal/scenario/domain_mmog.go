@@ -166,10 +166,10 @@ func (mmogDomain) Run(sc *Scenario, workloadSeed, simSeed int64) ([]MetricValue,
 		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
 	}
 	return []MetricValue{
-		{MetricEntities, float64(res.Entities)},
-		{MetricPeakLoad, res.PeakLoad},
-		{MetricMeanMaxLoad, res.MeanMaxLoad},
-		{MetricMeanLoad, res.MeanLoad},
-		{MetricImbalance, res.Imbalance},
+		{Name: MetricEntities, Value: float64(res.Entities)},
+		{Name: MetricPeakLoad, Value: res.PeakLoad},
+		{Name: MetricMeanMaxLoad, Value: res.MeanMaxLoad},
+		{Name: MetricMeanLoad, Value: res.MeanLoad},
+		{Name: MetricImbalance, Value: res.Imbalance},
 	}, nil
 }

@@ -286,11 +286,11 @@ func (schedDomain) Run(sc *Scenario, workloadSeed, simSeed int64) ([]MetricValue
 			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
 		}
 		return []MetricValue{
-			{MetricJobs, float64(len(tr.Jobs))},
-			{MetricMeanResponse, res.MeanResponse},
-			{MetricMeanSlowdown, res.MeanSlowdown},
-			{MetricWindows, float64(len(res.Choices))},
-			{MetricSelectionSims, float64(res.TotalSimRuns)},
+			{Name: MetricJobs, Value: float64(len(tr.Jobs))},
+			{Name: MetricMeanResponse, Value: res.MeanResponse},
+			{Name: MetricMeanSlowdown, Value: res.MeanSlowdown},
+			{Name: MetricWindows, Value: float64(len(res.Choices))},
+			{Name: MetricSelectionSims, Value: float64(res.TotalSimRuns)},
 		}, nil
 	}
 
@@ -303,13 +303,13 @@ func (schedDomain) Run(sc *Scenario, workloadSeed, simSeed int64) ([]MetricValue
 		return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
 	}
 	return []MetricValue{
-		{MetricJobs, float64(len(res.Jobs))},
-		{MetricMakespan, float64(res.Makespan)},
-		{MetricMeanResponse, res.MeanResponse},
-		{MetricMeanWait, res.MeanWait},
-		{MetricMeanSlowdown, res.MeanSlowdown},
-		{MetricUtilization, res.UtilizationMean},
-		{MetricDeadlineMisses, float64(res.DeadlineMisses)},
+		{Name: MetricJobs, Value: float64(len(res.Jobs))},
+		{Name: MetricMakespan, Value: float64(res.Makespan)},
+		{Name: MetricMeanResponse, Value: res.MeanResponse},
+		{Name: MetricMeanWait, Value: res.MeanWait},
+		{Name: MetricMeanSlowdown, Value: res.MeanSlowdown},
+		{Name: MetricUtilization, Value: res.UtilizationMean},
+		{Name: MetricDeadlineMisses, Value: float64(res.DeadlineMisses)},
 	}, nil
 }
 

@@ -7,23 +7,18 @@ import (
 	"io"
 	"strconv"
 	"strings"
-	"unicode/utf8"
 
-	"atlarge/internal/stats"
+	"atlarge"
 )
 
 // Metric is one aggregated measurement of a cell: the per-replica values in
-// replica order plus their mean and 95% CI half-width (normal approximation).
-type Metric struct {
-	Mean   float64   `json:"mean"`
-	CI95   float64   `json:"ci95"`
-	Values []float64 `json:"values"`
-}
+// replica order plus their mean and 95% CI half-width. It is the shared
+// atlarge value-space aggregate, so scenario cells and experiment replicas
+// aggregate through one type.
+type Metric = atlarge.Sample
 
 // NewMetric aggregates per-replica values.
-func NewMetric(values []float64) Metric {
-	return Metric{Mean: stats.Mean(values), CI95: stats.HalfWidth95(values), Values: values}
-}
+func NewMetric(values []float64) Metric { return atlarge.NewSample(values) }
 
 // Axis is one sweep dimension with its rendered values in declared order.
 type Axis struct {
@@ -266,28 +261,11 @@ func renderMetric(ms map[string]Metric, name string) string {
 	return fmt.Sprintf("%.4g±%.2g", m.Mean, m.CI95)
 }
 
-// writeAligned prints a table with space-padded columns; widths count runes
-// so the "±" in aggregated cells does not skew the padding.
+// writeAligned prints a table with space-padded columns through the shared
+// atlarge aligner (rune-counted widths, so "±" in aggregated cells does not
+// skew the padding).
 func writeAligned(w io.Writer, table [][]string) {
-	widths := make([]int, len(table[0]))
-	for _, row := range table {
-		for i, cellText := range row {
-			if n := utf8.RuneCountInString(cellText); n > widths[i] {
-				widths[i] = n
-			}
-		}
-	}
-	for _, row := range table {
-		var b strings.Builder
-		for i, cellText := range row {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(cellText)
-			if i < len(row)-1 {
-				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cellText)))
-			}
-		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	for _, line := range atlarge.AlignRows(table) {
+		fmt.Fprintln(w, line)
 	}
 }

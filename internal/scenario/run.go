@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strconv"
-	"strings"
 
 	"atlarge"
 	"atlarge/internal/sim"
@@ -139,19 +137,11 @@ func parseCell(sc *Scenario, baseSeed int64, replicaResults []atlarge.Result) (C
 	values := map[string][]float64{}
 	var order []string
 	for rep, res := range replicaResults {
-		for _, row := range res.Report.Rows {
-			name, raw, ok := strings.Cut(row, " ")
-			if !ok {
-				return Cell{}, fmt.Errorf("scenario: cell %s: malformed metric row %q", cell.ID, row)
-			}
-			v, err := strconv.ParseFloat(raw, 64)
-			if err != nil {
-				return Cell{}, fmt.Errorf("scenario: cell %s: metric %s: %w", cell.ID, name, err)
-			}
+		for _, m := range res.Report.Metrics {
 			if rep == 0 {
-				order = append(order, name)
+				order = append(order, m.Name)
 			}
-			values[name] = append(values[name], v)
+			values[m.Name] = append(values[m.Name], m.Value)
 		}
 	}
 	for _, name := range order {
@@ -160,18 +150,16 @@ func parseCell(sc *Scenario, baseSeed int64, replicaResults []atlarge.Result) (C
 	return cell, nil
 }
 
-// runCell executes one (scenario, replica) through its domain and reports
-// metrics as "name value" rows, with exact float rendering so that the
-// downstream aggregation sees the precise simulated values.
+// runCell executes one (scenario, replica) through its domain and carries
+// the emitted measurements as typed report metrics — values flow to the
+// aggregation in value space, never through rendered text.
 func runCell(sc *Scenario, workloadSeed, simSeed int64) (*atlarge.Report, error) {
 	values, err := sc.domain.Run(sc, workloadSeed, simSeed)
 	if err != nil {
 		return nil, err
 	}
-	rep := &atlarge.Report{ID: sc.ID(), Title: "scenario " + sc.ID()}
-	for _, mv := range values {
-		rep.Rows = append(rep.Rows, mv.Name+" "+strconv.FormatFloat(mv.Value, 'g', -1, 64))
-	}
+	rep := atlarge.NewReport(sc.ID(), "scenario "+sc.ID())
+	rep.Metrics = values
 	return rep, nil
 }
 

@@ -1,8 +1,9 @@
 package atlarge
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -30,12 +31,7 @@ type Experiment struct {
 
 // HasTag reports whether the experiment carries the tag.
 func (e Experiment) HasTag(tag string) bool {
-	for _, t := range e.Tags {
-		if t == tag {
-			return true
-		}
-	}
-	return false
+	return slices.Contains(e.Tags, tag)
 }
 
 // Registry is a concurrency-safe catalog of experiments.
@@ -104,11 +100,11 @@ func (r *Registry) Experiments() []Experiment {
 		out = append(out, e)
 	}
 	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Order != out[j].Order {
-			return out[i].Order < out[j].Order
+	slices.SortFunc(out, func(a, b Experiment) int {
+		if c := cmp.Compare(a.Order, b.Order); c != 0 {
+			return c
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

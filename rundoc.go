@@ -1,0 +1,56 @@
+package atlarge
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RunDocument is the machine-readable payload of one runner invocation: the
+// body of `atlarge run --format json` and of the serve API's GET /v1/run.
+// It carries no timing and marshals through slices only, so for a fixed
+// (ids, seed, replicas) the bytes are identical at every parallelism level.
+type RunDocument struct {
+	Seed        int64              `json:"seed"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's slice of a RunDocument.
+type ExperimentResult struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Seed is the derived seed of replica 0.
+	Seed     int64 `json:"seed"`
+	Replicas int   `json:"replicas"`
+	// Report is the replica-0 document.
+	Report *Report `json:"report"`
+	// Aggregate is the value-space replica aggregation; absent for a single
+	// replica.
+	Aggregate *Report `json:"aggregate,omitempty"`
+}
+
+// NewRunDocument folds runner results into the serialisable document.
+// Failed experiments are skipped (the runner's joined error reports them).
+func NewRunDocument(baseSeed int64, results []Result) *RunDocument {
+	doc := &RunDocument{Seed: baseSeed}
+	for _, res := range results {
+		if res.Err != nil || res.Report == nil {
+			continue
+		}
+		doc.Experiments = append(doc.Experiments, ExperimentResult{
+			ID:        res.ID,
+			Title:     res.Title,
+			Seed:      res.Seed,
+			Replicas:  len(res.Reports),
+			Report:    res.Report,
+			Aggregate: res.Aggregate,
+		})
+	}
+	return doc
+}
+
+// WriteJSON emits the document as indented JSON.
+func (d *RunDocument) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -3,13 +3,9 @@ package atlarge
 import (
 	"errors"
 	"fmt"
-	"regexp"
 	"runtime"
-	"strconv"
 	"sync"
 	"time"
-
-	"atlarge/internal/stats"
 )
 
 // Runner executes registered experiments across a bounded worker pool.
@@ -39,11 +35,11 @@ type Result struct {
 	Report *Report
 	// Reports holds every replica's report, replica index order.
 	Reports []*Report
-	// Aggregate holds the replica-0 row skeletons with every numeric field
-	// that varies across replicas replaced by "mean±hw" (95% CI half-width,
-	// normal approximation, via internal/stats). Empty when Replicas == 1
-	// or when the rows do not align across replicas.
-	Aggregate []string
+	// Aggregate is the value-space aggregation of the replica documents
+	// (see AggregateReports): every metric and numeric table cell carries
+	// the replica mean with a 95% CI half-width, labels matched exactly.
+	// Nil when Replicas == 1.
+	Aggregate *Report
 	// Err is the first error any replica produced, nil on success.
 	Err error
 	// Elapsed sums the run time of all replicas of this experiment.
@@ -160,7 +156,7 @@ func (r *Runner) Run(ids []string, baseSeed int64) ([]Result, error) {
 		} else {
 			res.Report = reports[i][0]
 			if replicas > 1 {
-				res.Aggregate = AggregateRows(reports[i])
+				res.Aggregate = AggregateReports(reports[i])
 			}
 		}
 		results[i] = res
@@ -179,91 +175,4 @@ func (r *Runner) registry() *Registry {
 // runner (GOMAXPROCS workers, one replica).
 func RunAll(seed int64) ([]Result, error) {
 	return (&Runner{}).RunAll(seed)
-}
-
-// numberRe matches the numeric fields embedded in report rows.
-var numberRe = regexp.MustCompile(`-?[0-9]+(?:\.[0-9]+)?`)
-
-// spaceRe collapses padding runs when comparing row skeletons.
-var spaceRe = regexp.MustCompile(`[ \t]+`)
-
-// AggregateRows merges the rows of replica reports of one experiment: for
-// every row position whose non-numeric skeleton agrees across replicas, each
-// numeric field that varies across replicas is replaced with "mean±hw" where
-// hw is the half-width of a normal-approximation 95% confidence interval.
-// Fields identical in every replica (labels, counts that did not change) are
-// left as they are. Rows whose skeletons disagree fall back to the replica-0
-// text.
-func AggregateRows(reports []*Report) []string {
-	if len(reports) == 0 {
-		return nil
-	}
-	base := reports[0]
-	out := make([]string, len(base.Rows))
-	for ri, row := range base.Rows {
-		out[ri] = aggregateRow(reports, ri, row)
-	}
-	return out
-}
-
-// skeletonOf reduces a row to its non-numeric shape: numeric fields become
-// placeholders and padding runs collapse, so replicas whose numbers render
-// at different widths still align.
-func skeletonOf(row string) string {
-	return spaceRe.ReplaceAllString(numberRe.ReplaceAllString(row, "\x00"), " ")
-}
-
-func aggregateRow(reports []*Report, ri int, baseRow string) string {
-	skeleton := skeletonOf(baseRow)
-	locs := numberRe.FindAllStringIndex(baseRow, -1)
-	values := make([][]float64, len(locs))
-	for vi := range values {
-		values[vi] = make([]float64, 0, len(reports))
-	}
-	for _, rep := range reports {
-		if rep == nil || ri >= len(rep.Rows) {
-			return baseRow
-		}
-		row := rep.Rows[ri]
-		if skeletonOf(row) != skeleton {
-			return baseRow
-		}
-		nums := numberRe.FindAllString(row, -1)
-		if len(nums) != len(locs) {
-			return baseRow
-		}
-		for vi, n := range nums {
-			v, err := strconv.ParseFloat(n, 64)
-			if err != nil {
-				return baseRow
-			}
-			values[vi] = append(values[vi], v)
-		}
-	}
-
-	var b []byte
-	prev := 0
-	for vi, loc := range locs {
-		b = append(b, baseRow[prev:loc[0]]...)
-		b = append(b, formatAggregate(baseRow[loc[0]:loc[1]], values[vi])...)
-		prev = loc[1]
-	}
-	b = append(b, baseRow[prev:]...)
-	return string(b)
-}
-
-// formatAggregate renders one numeric field across replicas: unchanged when
-// constant, mean±hw otherwise.
-func formatAggregate(orig string, vs []float64) string {
-	constant := true
-	for _, v := range vs[1:] {
-		if v != vs[0] {
-			constant = false
-			break
-		}
-	}
-	if constant {
-		return orig
-	}
-	return fmt.Sprintf("%.4g±%.2g", stats.Mean(vs), stats.HalfWidth95(vs))
 }

@@ -79,8 +79,8 @@ func assertSameResults(t *testing.T, seq, par []Result) {
 			t.Errorf("result %d identity differs: %s/%d vs %s/%d",
 				i, seq[i].ID, seq[i].Seed, par[i].ID, par[i].Seed)
 		}
-		if !reflect.DeepEqual(seq[i].Report.Rows, par[i].Report.Rows) {
-			t.Errorf("%s: parallel rows differ from sequential", seq[i].ID)
+		if !reflect.DeepEqual(seq[i].Report, par[i].Report) {
+			t.Errorf("%s: parallel report differs from sequential", seq[i].ID)
 		}
 		if !reflect.DeepEqual(seq[i].Aggregate, par[i].Aggregate) {
 			t.Errorf("%s: parallel aggregate differs from sequential", seq[i].ID)
@@ -100,14 +100,34 @@ func TestRunnerReplicas(t *testing.T) {
 	if r.Report != r.Reports[0] {
 		t.Error("Report must be replica 0")
 	}
-	if len(r.Aggregate) != len(r.Report.Rows) {
-		t.Fatalf("aggregate rows = %d, want %d", len(r.Aggregate), len(r.Report.Rows))
+	if r.Aggregate == nil {
+		t.Fatal("no aggregate document")
 	}
-	// Replicas run distinct seeds, so at least one numeric field varies and
-	// is rendered as mean±hw.
-	joined := strings.Join(r.Aggregate, "\n")
-	if !strings.Contains(joined, "±") {
-		t.Errorf("aggregate shows no variation:\n%s", joined)
+	if len(r.Aggregate.Metrics) != len(r.Report.Metrics) {
+		t.Fatalf("aggregate metrics = %d, want %d", len(r.Aggregate.Metrics), len(r.Report.Metrics))
+	}
+	// Replicas run distinct seeds, so at least one value varies and carries
+	// a CI half-width; the text rendering shows it as mean±hw.
+	varied := false
+	for _, m := range r.Aggregate.Metrics {
+		if m.CI95 != 0 {
+			varied = true
+		}
+	}
+	for _, tb := range r.Aggregate.Tables {
+		for _, row := range tb.Rows {
+			for _, c := range row {
+				if c.CI95 != nil {
+					varied = true
+				}
+			}
+		}
+	}
+	if !varied {
+		t.Error("aggregate shows no replica variation")
+	}
+	if joined := strings.Join(r.Aggregate.Lines(), "\n"); !strings.Contains(joined, "±") {
+		t.Errorf("aggregate text shows no ±:\n%s", joined)
 	}
 }
 
@@ -127,7 +147,9 @@ func TestRunnerSingleReplicaNoAggregate(t *testing.T) {
 func TestRunnerExperimentFailure(t *testing.T) {
 	reg := NewRegistry()
 	reg.MustRegister(Experiment{ID: "ok", Order: 1, Run: func(seed int64) (*Report, error) {
-		return &Report{ID: "ok", Rows: []string{"row"}}, nil
+		rep := NewReport("ok", "ok")
+		rep.AddMetric(Metric{Name: "x", Value: 1})
+		return rep, nil
 	}})
 	reg.MustRegister(Experiment{ID: "boom", Order: 2, Run: func(seed int64) (*Report, error) {
 		return nil, fmt.Errorf("kaput")
@@ -144,38 +166,6 @@ func TestRunnerExperimentFailure(t *testing.T) {
 	}
 }
 
-func TestAggregateRowsSkeletonMismatch(t *testing.T) {
-	reps := []*Report{
-		{Rows: []string{"count=3 mode=warm"}},
-		{Rows: []string{"count=5 mode=cold"}},
-	}
-	got := AggregateRows(reps)
-	// Non-numeric skeletons differ: fall back to replica 0 verbatim.
-	if got[0] != "count=3 mode=warm" {
-		t.Errorf("mismatched skeleton aggregated: %q", got[0])
-	}
-}
-
-func TestAggregateRowsMeanCI(t *testing.T) {
-	reps := []*Report{
-		{Rows: []string{"x=1 label"}},
-		{Rows: []string{"x=2 label"}},
-		{Rows: []string{"x=3 label"}},
-	}
-	got := AggregateRows(reps)
-	if !strings.HasPrefix(got[0], "x=2±") || !strings.HasSuffix(got[0], " label") {
-		t.Errorf("aggregate = %q, want x=2±... label", got[0])
-	}
-	// Constant fields stay verbatim.
-	same := []*Report{
-		{Rows: []string{"n=7 ok"}},
-		{Rows: []string{"n=7 ok"}},
-	}
-	if got := AggregateRows(same); got[0] != "n=7 ok" {
-		t.Errorf("constant row rewritten: %q", got[0])
-	}
-}
-
 // TestPublicRunAllFastSubset covers the package-level RunAll wrapper through
 // a fast registry; the full default catalog sweep already runs once in
 // TestRunAllExperiments and again in the benchmark smoke.
@@ -188,8 +178,8 @@ func TestPublicRunAllFastSubset(t *testing.T) {
 		t.Fatalf("results = %d, want %d", len(results), len(fastIDs))
 	}
 	for _, res := range results {
-		if res.Err != nil || res.Report == nil || len(res.Report.Rows) == 0 {
-			t.Errorf("experiment %s unhealthy: err=%v", res.ID, res.Err)
+		if res.Err != nil || res.Report == nil || len(res.Report.Metrics) == 0 {
+			t.Errorf("experiment %s unhealthy or metric-less: err=%v", res.ID, res.Err)
 		}
 	}
 }
