@@ -4,24 +4,36 @@
 // Usage:
 //
 //	atlarge list [-tag T] [--domains] [--format text|json]
-//	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json]
+//	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json] [--progress] [--timeout D]
 //	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N]
 //	atlarge scenario validate <spec.json> [--domain D]
-//	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
-//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]
+//	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D]
+//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [--checkpoint DIR]
 //
 // Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
 //
 // run executes the requested experiments (or the whole catalog with --all)
-// on a bounded worker pool. Seeds are derived per experiment and replica, so
-// reports are identical for every --parallel level; --format json emits the
-// typed result documents (Results API v2: named metrics, structured tables,
-// series — see the README's Results API section).
+// on the streaming work-plan executor. Seeds are derived per experiment and
+// replica, so reports are identical for every --parallel level; --format
+// json emits the typed result documents (Results API v2: named metrics,
+// structured tables, series — see the README's Results API section).
+// --progress renders a live task-completion line on stderr as results
+// stream in, and --timeout aborts the run (cooperatively cancelling the
+// worker pool) after a duration.
 //
 // serve exposes the same results over HTTP: GET /v1/experiments (catalog),
 // GET /v1/run?ids=&seed=&replicas= (typed results, LRU-cached per
-// (experiment, seed, replicas) so repeated queries skip the simulation), and
-// POST /v1/scenario/sweep (a scenario spec as the request body).
+// (experiment, seed, replicas) so repeated queries skip the simulation),
+// GET /v1/run/stream (the same run as live NDJSON progress events),
+// POST /v1/scenario/sweep (a scenario spec as the request body; add
+// ?async=1 for a background job steered via /v1/scenario/jobs/{id}).
+//
+// scenario sweep --checkpoint DIR persists every completed (cell, replica)
+// result under DIR as it finishes and resumes from there on a rerun: an
+// interrupted sweep (Ctrl-C, --timeout, a crash) picks up where it stopped
+// and produces a report byte-identical to an uninterrupted run. Runs are
+// keyed by a content hash of the spec plus the effective seed and replica
+// count, so editing any of them starts a fresh run directory.
 //
 // scenario drives the declarative what-if engine (internal/scenario):
 // validate checks a spec and reports every problem, run executes an unswept
@@ -33,7 +45,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +56,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"atlarge"
 	"atlarge/internal/api"
@@ -136,6 +151,8 @@ func runTo(w io.Writer, args []string) error {
 			parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 			replicas = fs.Int("replicas", 1, "replicas per experiment, aggregated as mean±95% CI")
 			format   = fs.String("format", "text", "output format: text or json")
+			progress = fs.Bool("progress", false, "live task-completion line on stderr")
+			timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		)
 		ids, err := parseInterleaved(fs, args[1:])
 		if err != nil {
@@ -155,9 +172,19 @@ func runTo(w io.Writer, args []string) error {
 			ids = atlarge.Experiments()
 		}
 
+		ctx, cancel := withTimeout(*timeout)
+		defer cancel()
 		runner := &atlarge.Runner{Parallelism: *parallel, Replicas: *replicas}
-		results, err := runner.Run(ids, *seed)
+		if *progress {
+			runner.Progress = progressLine(os.Stderr, "run")
+		}
+		results, err := runner.RunContext(ctx, ids, *seed)
 		if err != nil {
+			// The joined error is preserved: it names any experiment that
+			// genuinely failed before the deadline, not just the timeout.
+			if ctx.Err() != nil {
+				return fmt.Errorf("run aborted after --timeout %v: %w", *timeout, err)
+			}
 			return err
 		}
 		if *format == "json" {
@@ -235,9 +262,29 @@ func listDomains(w io.Writer, format string) error {
 	return nil
 }
 
+// withTimeout returns a background context bounded by d (unbounded when
+// d == 0) and its cancel func.
+func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// progressLine renders a live single-line task ticker: carriage-return
+// overdraw while tasks stream in, newline-terminated when the plan drains.
+func progressLine(w io.Writer, label string) func(done, total int, id string) {
+	return func(done, total int, id string) {
+		fmt.Fprintf(w, "\r%-79s", fmt.Sprintf("%s: %d/%d %s", label, done, total, id))
+		if done == total {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
 // runScenario dispatches the scenario subcommands: validate, run, sweep.
 func runScenario(w io.Writer, args []string) error {
-	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv]"
+	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [sweep: --checkpoint DIR]"
 	if len(args) == 0 {
 		return fmt.Errorf("%s", usage)
 	}
@@ -247,11 +294,14 @@ func runScenario(w io.Writer, args []string) error {
 	}
 	fs := newFlagSet("scenario " + sub)
 	var (
-		domain   = fs.String("domain", "", "simulation domain (fills a spec without one; must match a spec that declares one)")
-		seed     = fs.Int64("seed", 0, "base seed override (default: the spec's seed)")
-		parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
-		replicas = fs.Int("replicas", 0, "replicas per scenario (default: the spec's replicas)")
-		format   = fs.String("format", "text", "output format: text, json, or csv")
+		domain     = fs.String("domain", "", "simulation domain (fills a spec without one; must match a spec that declares one)")
+		seed       = fs.Int64("seed", 0, "base seed override (default: the spec's seed)")
+		parallel   = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		replicas   = fs.Int("replicas", 0, "replicas per scenario (default: the spec's replicas)")
+		format     = fs.String("format", "text", "output format: text, json, or csv")
+		progress   = fs.Bool("progress", false, "live task-completion line on stderr")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		checkpoint = fs.String("checkpoint", "", "sweep only: persist completed (cell, replica) results under this directory and resume from them")
 	)
 	paths, err := parseInterleaved(fs, args[1:])
 	if err != nil {
@@ -268,6 +318,9 @@ func runScenario(w io.Writer, args []string) error {
 	}
 	if *format != "text" && *format != "json" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want text, json, or csv)", *format)
+	}
+	if *checkpoint != "" && sub != "sweep" {
+		return fmt.Errorf("--checkpoint applies to 'scenario sweep' only")
 	}
 
 	spec, err := scenario.Load(paths[0])
@@ -308,12 +361,20 @@ func runScenario(w io.Writer, args []string) error {
 				return err
 			}
 		}
-		opt := scenario.Options{Replicas: *replicas, Parallelism: *parallel}
+		opt := scenario.Options{Replicas: *replicas, Parallelism: *parallel, Checkpoint: *checkpoint}
 		if seedSet {
 			opt.Seed = seed
 		}
-		rep, err := scenario.Run(spec, cells, opt)
+		if *progress {
+			opt.Progress = progressLine(os.Stderr, "scenario "+sub)
+		}
+		ctx, cancel := withTimeout(*timeout)
+		defer cancel()
+		rep, err := scenario.Run(ctx, spec, cells, opt)
 		if err != nil {
+			if *timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("scenario %s aborted after --timeout %v: %w", sub, *timeout, err)
+			}
 			return err
 		}
 		switch *format {

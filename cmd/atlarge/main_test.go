@@ -411,3 +411,70 @@ func TestServeSubcommandFlagErrors(t *testing.T) {
 		t.Error("unlistenable address accepted")
 	}
 }
+
+// TestScenarioSweepCheckpointResume: a sweep with --checkpoint writes the
+// run directory and a rerun over the warm directory yields byte-identical
+// JSON to a cold run.
+func TestScenarioSweepCheckpointResume(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "sweep.json")
+	src := `{"version": 1, "name": "ckpt", "workload": {"class": "syn", "jobs": 8},
+		"cluster": {"machines": 2}, "replicas": 2, "seed": 3,
+		"sweep": {"policy": ["sjf", "fcfs"]}}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	render := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"scenario", "sweep", spec, "--format", "json"}, extra...)
+		if err := runTo(&buf, args); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cold := render()
+	first := render("--checkpoint", dir)
+	if first != cold {
+		t.Error("checkpointed run differs from plain run")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*", "task-*.json"))
+	if err != nil || len(files) != 4 {
+		t.Fatalf("run directory holds %d task files (err %v), want 4", len(files), err)
+	}
+	if resumed := render("--checkpoint", dir, "--parallel", "1"); resumed != cold {
+		t.Error("resumed run differs from cold run")
+	}
+}
+
+// TestScenarioCheckpointRequiresSweep: --checkpoint outside sweep errors.
+func TestScenarioCheckpointRequiresSweep(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "single.json")
+	src := `{"version": 1, "name": "single", "policy": "sjf",
+		"workload": {"class": "syn", "jobs": 4}}`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"scenario", "run", spec, "--checkpoint", t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "--checkpoint") {
+		t.Errorf("checkpoint on run accepted: %v", err)
+	}
+}
+
+// TestRunTimeoutAborts: an already-expired --timeout aborts the run with a
+// timeout error instead of running anything.
+func TestRunTimeoutAborts(t *testing.T) {
+	err := run([]string{"run", "fig9", "--timeout", "1ns"})
+	if err == nil || !strings.Contains(err.Error(), "--timeout") {
+		t.Errorf("timeout not surfaced: %v", err)
+	}
+}
+
+// TestScenarioSweepTimeoutAborts: same for sweeps, which also name the
+// checkpoint resume path when one is set.
+func TestScenarioSweepTimeoutAborts(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"scenario", "sweep", exampleSweepSpec, "--timeout", "1ns", "--checkpoint", dir})
+	if err == nil || !strings.Contains(err.Error(), "--timeout") {
+		t.Errorf("timeout not surfaced: %v", err)
+	}
+}

@@ -1,5 +1,7 @@
 package atlarge
 
+import "context"
+
 // Experiments lists the reproducible artifact IDs in canonical order.
 func Experiments() []string {
 	return DefaultRegistry().IDs()
@@ -11,5 +13,5 @@ func RunExperiment(id string, seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(seed)
+	return e.run(context.Background(), seed)
 }

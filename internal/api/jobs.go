@@ -1,0 +1,100 @@
+package api
+
+import (
+	"context"
+	"sync"
+)
+
+// Job states.
+const (
+	jobRunning   = "running"
+	jobDone      = "done"
+	jobFailed    = "failed"
+	jobCancelled = "cancelled"
+)
+
+// job is one asynchronous sweep: POST /v1/scenario/sweep?async=1 creates it,
+// the status/result/cancel endpoints observe and steer it. Progress counters
+// stream in from the executor while the sweep runs.
+type job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  string
+	done   int
+	total  int
+	result []byte // final report JSON, byte-identical to the sync response
+	errMsg string
+}
+
+// progress records one streamed task completion.
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+// finish settles the job from its run outcome; a cancelled job stays
+// cancelled even if the runner surfaces the context error afterwards.
+func (j *job) finish(result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == jobCancelled {
+		return
+	}
+	if err != nil {
+		j.state = jobFailed
+		j.errMsg = err.Error()
+		return
+	}
+	j.state = jobDone
+	j.result = result
+}
+
+// markCancelled flips a running job to cancelled and fires its context.
+func (j *job) markCancelled() bool {
+	j.mu.Lock()
+	running := j.state == jobRunning
+	if running {
+		j.state = jobCancelled
+	}
+	j.mu.Unlock()
+	if running {
+		j.cancel()
+	}
+	return running
+}
+
+// jobStatus is the status document of GET /v1/scenario/jobs/{id}.
+type jobStatus struct {
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// Result is the path serving the finished report; set when done.
+	Result string `json:"result,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+}
+
+// status snapshots the job.
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{Job: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.errMsg}
+	if j.state == jobDone {
+		st.Result = "/v1/scenario/jobs/" + j.id + "/result"
+	}
+	return st
+}
+
+// resultBytes returns the finished report, or false while it is not ready.
+func (j *job) resultBytes() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != jobDone {
+		return nil, false
+	}
+	return j.result, true
+}

@@ -1,6 +1,8 @@
 package api
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +33,13 @@ type Config struct {
 	// MaxReplicas rejects run requests asking for more replicas; <= 0
 	// means 64.
 	MaxReplicas int
+	// MaxCells rejects sweep specs whose axis cardinalities alone multiply
+	// to more cells, before any cell is materialized; <= 0 means 4096.
+	// Values above 4096 (the scenario engine's own hard expansion bound)
+	// are clamped to it.
+	MaxCells int
+	// MaxJobs bounds concurrently running async sweeps; <= 0 means 4.
+	MaxJobs int
 }
 
 // runKey identifies one cached experiment result: results are cached per
@@ -43,12 +52,18 @@ type runKey struct {
 
 // Server is the HTTP face of the Results API v2:
 //
-//	GET  /v1/experiments                     the experiment catalog
-//	GET  /v1/run?ids=&seed=&replicas=        typed run results (LRU-cached)
-//	POST /v1/scenario/sweep?seed=&replicas=  expand + run a scenario spec body
+//	GET    /v1/experiments                     the experiment catalog
+//	GET    /v1/run?ids=&seed=&replicas=        typed run results (LRU-cached)
+//	GET    /v1/run/stream?ids=&seed=&replicas= the same run as live NDJSON progress events
+//	POST   /v1/scenario/sweep?seed=&replicas=  expand + run a scenario spec body
+//	POST   /v1/scenario/sweep?async=1          start the sweep as a background job (202 + job id)
+//	GET    /v1/scenario/jobs/{id}              async job status (state, done/total)
+//	GET    /v1/scenario/jobs/{id}/result       the finished job's report (sync-identical bytes)
+//	DELETE /v1/scenario/jobs/{id}              cancel a running job mid-sweep
 //
 // All responses are JSON; run results are byte-identical for a fixed query
-// at any parallelism and across cache hits and misses.
+// at any parallelism and across cache hits and misses, and an async sweep's
+// result is byte-identical to the synchronous response for the same spec.
 type Server struct {
 	cfg   Config
 	cache *lruCache[runKey, atlarge.ExperimentResult]
@@ -59,6 +74,12 @@ type Server struct {
 	// instead of re-running the same simulation.
 	mu       sync.Mutex
 	inflight map[runKey]*flight
+
+	// jobMu guards the async sweep job table.
+	jobMu    sync.Mutex
+	jobs     map[string]*job
+	jobSeq   int
+	jobOrder []string
 }
 
 // flight is one in-progress computation of a runKey; waiters block on done.
@@ -79,15 +100,26 @@ func New(cfg Config) *Server {
 	if cfg.MaxReplicas <= 0 {
 		cfg.MaxReplicas = 64
 	}
+	if cfg.MaxCells <= 0 || cfg.MaxCells > scenario.MaxCells {
+		cfg.MaxCells = scenario.MaxCells
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    newLRU[runKey, atlarge.ExperimentResult](cfg.CacheSize),
 		mux:      http.NewServeMux(),
 		inflight: make(map[runKey]*flight),
+		jobs:     make(map[string]*job),
 	}
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/run/stream", s.handleRunStream)
 	s.mux.HandleFunc("POST /v1/scenario/sweep", s.handleScenarioSweep)
+	s.mux.HandleFunc("GET /v1/scenario/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/scenario/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/scenario/jobs/{id}", s.handleJobCancel)
 	return s
 }
 
@@ -116,31 +148,41 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Catalog(s.cfg.Registry))
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// parseRunQuery validates the shared ids/seed/replicas parameters of the
+// run endpoints, writing the error response itself on failure.
+func (s *Server) parseRunQuery(w http.ResponseWriter, r *http.Request) (ids []string, seed int64, replicas int, ok bool) {
 	q := r.URL.Query()
 	seed, err := queryInt64(q.Get("seed"), 42)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad seed: %v", err)
-		return
+		return nil, 0, 0, false
 	}
-	replicas, err := queryInt(q.Get("replicas"), 1)
+	replicas, err = queryInt(q.Get("replicas"), 1)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad replicas: %v", err)
-		return
+		return nil, 0, 0, false
 	}
 	if replicas < 1 || replicas > s.cfg.MaxReplicas {
 		writeError(w, http.StatusBadRequest, "replicas must be in 1..%d", s.cfg.MaxReplicas)
-		return
+		return nil, 0, 0, false
 	}
-	ids := splitIDs(q.Get("ids"))
+	ids = splitIDs(q.Get("ids"))
 	if len(ids) == 0 {
 		ids = s.cfg.Registry.IDs()
 	}
 	for _, id := range ids {
 		if _, err := s.cfg.Registry.Get(id); err != nil {
 			writeError(w, http.StatusNotFound, "%v", err)
-			return
+			return nil, 0, 0, false
 		}
+	}
+	return ids, seed, replicas, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ids, seed, replicas, ok := s.parseRunQuery(w, r)
+	if !ok {
+		return
 	}
 
 	// Serve each experiment from the (id, seed, replicas) cache. Misses
@@ -237,17 +279,92 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
-func (s *Server) handleScenarioSweep(w http.ResponseWriter, r *http.Request) {
+// handleRunStream is the live form of /v1/run: the same validated query,
+// but the response is NDJSON — one "plan" line, one "task" line per
+// (experiment, replica) completion as it streams out of the executor, and a
+// final "result" line carrying the full RunDocument (or an "error" line).
+// The connection's context cancels the run, so a client hanging up stops
+// the simulation instead of orphaning it.
+func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	ids, seed, replicas, ok := s.parseRunQuery(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	line := func(v any) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		w.Write(append(raw, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// One struct per line type, so every field a line owns is always
+	// emitted (seed 0 is a valid seed and must not be omitted).
+	type planEvent struct {
+		Type     string `json:"type"`
+		Total    int    `json:"total"`
+		Seed     int64  `json:"seed"`
+		Replicas int    `json:"replicas"`
+	}
+	type taskEvent struct {
+		Type  string `json:"type"`
+		ID    string `json:"id"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	}
+	type resultEvent struct {
+		Type     string               `json:"type"`
+		Document *atlarge.RunDocument `json:"document,omitempty"`
+		Error    string               `json:"error,omitempty"`
+	}
+
+	line(planEvent{Type: "plan", Total: len(ids) * replicas, Seed: seed, Replicas: replicas})
+	runner := &atlarge.Runner{
+		Registry:    s.cfg.Registry,
+		Parallelism: s.cfg.Parallelism,
+		Replicas:    replicas,
+		Progress: func(done, total int, id string) {
+			line(taskEvent{Type: "task", ID: id, Done: done, Total: total})
+		},
+	}
+	results, err := runner.RunContext(r.Context(), ids, seed)
+	if err != nil {
+		line(resultEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	doc := atlarge.NewRunDocument(seed, results)
+	// Streams always simulate live (progress is the point), but their
+	// results feed the (id, seed, replicas) cache so subsequent /v1/run
+	// queries are answered without re-running.
+	for _, res := range doc.Experiments {
+		s.cache.Put(runKey{res.ID, seed, replicas}, res)
+	}
+	line(resultEvent{Type: "result", Document: doc})
+}
+
+// parseSweepRequest validates a sweep request — body spec, seed/replicas
+// query, and the cell bound — writing the error response itself on failure.
+// The cell bound is enforced from the sweep's axis cardinalities alone,
+// before any cell is materialized, so a degenerate spec cannot make the
+// server allocate its cross-product.
+func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) (*scenario.Spec, []scenario.Scenario, scenario.Options, bool) {
+	none := scenario.Options{}
 	r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
 	spec, err := scenario.Parse(r.Body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "spec body exceeds %d bytes", tooBig.Limit)
-			return
+			return nil, nil, none, false
 		}
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, nil, none, false
 	}
 	q := r.URL.Query()
 	opt := scenario.Options{Parallelism: s.cfg.Parallelism}
@@ -255,24 +372,59 @@ func (s *Server) handleScenarioSweep(w http.ResponseWriter, r *http.Request) {
 		seed, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad seed: %v", err)
-			return
+			return nil, nil, none, false
 		}
 		opt.Seed = &seed
 	}
 	if raw := q.Get("replicas"); raw != "" {
 		replicas, err := strconv.Atoi(raw)
-		if err != nil || replicas < 1 || replicas > s.cfg.MaxReplicas {
+		if err != nil || replicas < 1 {
 			writeError(w, http.StatusBadRequest, "replicas must be in 1..%d", s.cfg.MaxReplicas)
-			return
+			return nil, nil, none, false
 		}
 		opt.Replicas = replicas
+	}
+	// Pin the effective replica count (query, else spec, else 1) so the
+	// bound below covers both sources — a spec body declaring a huge
+	// "replicas" must be rejected exactly like a huge query parameter.
+	if opt.Replicas <= 0 {
+		opt.Replicas = max(spec.Replicas, 1)
+	}
+	if opt.Replicas > s.cfg.MaxReplicas {
+		writeError(w, http.StatusBadRequest, "replicas must be in 1..%d", s.cfg.MaxReplicas)
+		return nil, nil, none, false
+	}
+	if size := scenario.SweepSize(spec); size > s.cfg.MaxCells {
+		writeError(w, http.StatusBadRequest,
+			"sweep axis cardinalities multiply to more than this server's limit of %d cells; split the sweep", s.cfg.MaxCells)
+		return nil, nil, none, false
 	}
 	cells, err := scenario.Expand(spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, nil, none, false
+	}
+	return spec, cells, opt, true
+}
+
+func (s *Server) handleScenarioSweep(w http.ResponseWriter, r *http.Request) {
+	async := false
+	if raw := r.URL.Query().Get("async"); raw != "" {
+		var err error
+		if async, err = strconv.ParseBool(raw); err != nil {
+			writeError(w, http.StatusBadRequest, "bad async: %v", err)
+			return
+		}
+	}
+	spec, cells, opt, ok := s.parseSweepRequest(w, r)
+	if !ok {
 		return
 	}
-	rep, err := scenario.Run(spec, cells, opt)
+	if async {
+		s.startSweepJob(w, spec, cells, opt)
+		return
+	}
+	rep, err := scenario.Run(r.Context(), spec, cells, opt)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -280,6 +432,135 @@ func (s *Server) handleScenarioSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = rep.WriteJSON(w)
+}
+
+// startSweepJob registers and launches one async sweep, bounded by MaxJobs
+// concurrently running jobs; finished jobs beyond keptJobs are evicted
+// oldest-first.
+func (s *Server) startSweepJob(w http.ResponseWriter, spec *scenario.Spec, cells []scenario.Scenario, opt scenario.Options) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.jobMu.Lock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.status().State == jobRunning {
+			running++
+		}
+	}
+	if running >= s.cfg.MaxJobs {
+		s.jobMu.Unlock()
+		cancel()
+		writeError(w, http.StatusTooManyRequests, "%d sweep job(s) already running (limit %d); retry later or cancel one", running, s.cfg.MaxJobs)
+		return
+	}
+	s.jobSeq++
+	// opt.Replicas is always the pinned effective count here (see
+	// parseSweepRequest), so the status total is right from the start.
+	j := &job{id: fmt.Sprintf("job-%d", s.jobSeq), cancel: cancel, state: jobRunning, total: len(cells) * opt.Replicas}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.evictFinishedLocked()
+	s.jobMu.Unlock()
+
+	go func() {
+		defer cancel()
+		opt.Progress = func(done, total int, id string) { j.progress(done, total) }
+		rep, err := scenario.Run(ctx, spec, cells, opt)
+		if err != nil {
+			j.finish(nil, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			j.finish(nil, err)
+			return
+		}
+		j.finish(buf.Bytes(), nil)
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"job":    j.id,
+		"status": "/v1/scenario/jobs/" + j.id,
+	})
+}
+
+// keptJobs bounds the finished-job history retained for status queries.
+const keptJobs = 64
+
+// evictFinishedLocked drops the oldest finished jobs beyond keptJobs;
+// running jobs are never evicted. Caller holds jobMu.
+func (s *Server) evictFinishedLocked() {
+	for len(s.jobs) > keptJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			j, ok := s.jobs[id]
+			if !ok {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+			if st := j.status().State; st != jobRunning {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything still running
+		}
+	}
+}
+
+// getJob resolves the {id} path value, writing the 404 itself.
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	s.jobMu.Lock()
+	j, ok := s.jobs[id]
+	s.jobMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.getJob(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	raw, ready := j.resultBytes()
+	if !ready {
+		st := j.status()
+		if st.State == jobFailed || st.State == jobCancelled {
+			msg := fmt.Sprintf("job %s is %s", j.id, st.State)
+			if st.Error != "" {
+				msg += ": " + st.Error
+			}
+			writeError(w, http.StatusGone, "%s", msg)
+			return
+		}
+		writeError(w, http.StatusConflict, "job %s is still %s (%d/%d tasks)", j.id, st.State, st.Done, st.Total)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	j.markCancelled()
+	writeJSON(w, http.StatusOK, j.status())
 }
 
 // splitIDs parses the comma-separated ids parameter.

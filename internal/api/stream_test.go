@@ -1,0 +1,325 @@
+package api
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"atlarge"
+)
+
+// streamLine is the decoded shape of one NDJSON event from /v1/run/stream.
+type streamLine struct {
+	Type     string               `json:"type"`
+	Total    int                  `json:"total"`
+	Seed     int64                `json:"seed"`
+	Replicas int                  `json:"replicas"`
+	ID       string               `json:"id"`
+	Done     int                  `json:"done"`
+	Document *atlarge.RunDocument `json:"document"`
+	Error    string               `json:"error"`
+}
+
+// TestServeRunStream: the NDJSON stream opens with a plan line, emits one
+// task line per (experiment, replica), and closes with a result document
+// identical to the plain /v1/run body for the same query.
+func TestServeRunStream(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/v1/run/stream?ids=alpha,beta&seed=42&replicas=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q, want application/x-ndjson", ct)
+	}
+
+	var lines []streamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var l streamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	const tasks = 2 * 3 // ids × replicas
+	if len(lines) != tasks+2 {
+		t.Fatalf("stream emitted %d lines, want %d (plan + tasks + result)", len(lines), tasks+2)
+	}
+	if lines[0].Type != "plan" || lines[0].Total != tasks || lines[0].Seed != 42 || lines[0].Replicas != 3 {
+		t.Errorf("plan line = %+v", lines[0])
+	}
+	for i, l := range lines[1 : tasks+1] {
+		if l.Type != "task" || l.Done != i+1 || l.Total != tasks || l.ID == "" {
+			t.Errorf("task line %d = %+v", i, l)
+		}
+	}
+	last := lines[len(lines)-1]
+	if last.Type != "result" || last.Document == nil {
+		t.Fatalf("terminal line = %+v", last)
+	}
+
+	// The streamed document must match the plain endpoint's document — and
+	// the stream's results must have populated the cache on the way out.
+	plainResp, plain := get(t, srv.URL+"/v1/run?ids=alpha,beta&seed=42&replicas=3")
+	if state := plainResp.Header.Get("X-Atlarge-Cache"); state != "hit" {
+		t.Errorf("post-stream /v1/run cache state = %q, want hit", state)
+	}
+	var plainDoc atlarge.RunDocument
+	if err := json.Unmarshal([]byte(plain), &plainDoc); err != nil {
+		t.Fatal(err)
+	}
+	streamed, _ := json.Marshal(last.Document)
+	direct, _ := json.Marshal(&plainDoc)
+	if string(streamed) != string(direct) {
+		t.Error("streamed result document differs from /v1/run document")
+	}
+}
+
+// TestServeRunStreamBadQuery: validation failures surface before any
+// streaming starts.
+func TestServeRunStreamBadQuery(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := get(t, srv.URL+"/v1/run/stream?ids=nope")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, `"error"`) {
+		t.Errorf("status = %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestServeRunStreamSeedZero: seed 0 is a valid seed and the plan line must
+// carry it explicitly rather than omitting the field.
+func TestServeRunStreamSeedZero(t *testing.T) {
+	srv := newTestServer(t)
+	_, body := get(t, srv.URL+"/v1/run/stream?ids=alpha&seed=0")
+	first, _, _ := strings.Cut(body, "\n")
+	if !strings.Contains(first, `"seed":0`) {
+		t.Errorf("plan line omits seed 0: %s", first)
+	}
+}
+
+// sweepSpecBody is a small two-cell sweep used by the async job tests.
+const sweepSpecBody = `{"version": 2, "name": "api-async", "domain": "sched",
+	"policy": "sjf", "workload": {"class": "syn", "jobs": 8},
+	"cluster": {"machines": 2},
+	"sweep": {"policy": ["sjf", "fcfs"]}}`
+
+// postSweep posts a sweep spec and decodes the JSON envelope.
+func postSweep(t *testing.T, url string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(sweepSpecBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	out := map[string]string{}
+	_ = json.Unmarshal([]byte(body), &out)
+	out["_body"] = body
+	return resp.StatusCode, out
+}
+
+// TestServeAsyncSweep: the async path accepts with a job id, the job runs
+// to done, and its result bytes equal the synchronous response.
+func TestServeAsyncSweep(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Parallelism: 2}))
+	defer srv.Close()
+
+	status, accepted := postSweep(t, srv.URL+"/v1/scenario/sweep?seed=5&replicas=2&async=1")
+	if status != http.StatusAccepted || accepted["job"] == "" {
+		t.Fatalf("async accept: status %d, body %s", status, accepted["_body"])
+	}
+
+	statusURL := srv.URL + accepted["status"]
+	deadline := time.Now().Add(30 * time.Second)
+	var st jobStatus
+	for {
+		_, body := get(t, statusURL)
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("bad status body %s: %v", body, err)
+		}
+		if st.State != jobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck running: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.State != jobDone || st.Done != st.Total || st.Total != 4 || st.Result == "" {
+		t.Fatalf("finished status = %+v", st)
+	}
+
+	_, asyncBody := get(t, srv.URL+st.Result)
+	syncStatus, syncOut := postSweep(t, srv.URL+"/v1/scenario/sweep?seed=5&replicas=2")
+	if syncStatus != http.StatusOK {
+		t.Fatalf("sync sweep failed: %d", syncStatus)
+	}
+	if asyncBody != syncOut["_body"] {
+		t.Error("async result bytes differ from synchronous sweep response")
+	}
+}
+
+// TestServeAsyncSweepResultNotReady: fetching the result of a running or
+// unknown job reports the right statuses.
+func TestServeAsyncSweepNotFound(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}))
+	defer srv.Close()
+	resp, body := get(t, srv.URL+"/v1/scenario/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, `"error"`) {
+		t.Errorf("unknown job: status %d body %s", resp.StatusCode, body)
+	}
+	resp2, _ := get(t, srv.URL+"/v1/scenario/jobs/nope/result")
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: status %d", resp2.StatusCode)
+	}
+}
+
+// TestServeAsyncSweepCancel: DELETE flips a running job to cancelled and
+// its result becomes 410.
+func TestServeAsyncSweepCancel(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Parallelism: 1}))
+	defer srv.Close()
+
+	status, accepted := postSweep(t, srv.URL+"/v1/scenario/sweep?replicas=64&async=1")
+	if status != http.StatusAccepted {
+		t.Fatalf("async accept: %d", status)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+accepted["status"], nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	var st jobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobCancelled && st.State != jobDone {
+		t.Fatalf("cancelled job state = %q", st.State)
+	}
+	if st.State == jobCancelled {
+		resp2, _ := get(t, srv.URL+accepted["status"]+"/result")
+		if resp2.StatusCode != http.StatusGone {
+			t.Errorf("cancelled result: status %d, want 410", resp2.StatusCode)
+		}
+	}
+}
+
+// TestServeSweepCellBound: a spec whose axis cardinalities multiply past
+// the server's cell limit is rejected up front — including the degenerate
+// many-axis case whose raw product would overflow — without expanding.
+func TestServeSweepCellBound(t *testing.T) {
+	srv := httptest.NewServer(New(Config{MaxCells: 4}))
+	defer srv.Close()
+	spec := `{"version": 2, "name": "big", "domain": "sched",
+		"workload": {"class": "syn", "jobs": 8},
+		"sweep": {"policy": ["sjf", "fcfs", "random"], "load": [0.1, 0.2, 0.3]}}`
+	resp, err := http.Post(srv.URL+"/v1/scenario/sweep", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "limit of 4 cells") {
+		t.Errorf("oversized sweep: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestServeSweepSpecReplicaBound: a spec body declaring a huge replica
+// count is rejected exactly like a huge ?replicas= query — the bound covers
+// both sources, before any work is scheduled.
+func TestServeSweepSpecReplicaBound(t *testing.T) {
+	srv := httptest.NewServer(New(Config{MaxReplicas: 8}))
+	defer srv.Close()
+	spec := `{"version": 2, "name": "hostile", "domain": "sched",
+		"policy": "sjf", "workload": {"class": "syn", "jobs": 4},
+		"replicas": 1000000}`
+	for _, path := range []string{"/v1/scenario/sweep", "/v1/scenario/sweep?async=1"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "replicas must be in 1..8") {
+			t.Errorf("%s: status %d body %s, want 400 replica bound", path, resp.StatusCode, body)
+		}
+	}
+	// The spec's own replica count still works when it is within bounds.
+	ok := strings.Replace(spec, "1000000", "2", 1)
+	resp, err := http.Post(srv.URL+"/v1/scenario/sweep", "application/json", strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"replicas": 2`) {
+		t.Errorf("in-bounds spec replicas: status %d body %.200s", resp.StatusCode, body)
+	}
+}
+
+// TestServeAsyncSweepTotalFromSpec: the job's status total reflects the
+// spec's replica count from the moment of acceptance.
+func TestServeAsyncSweepTotalFromSpec(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Parallelism: 2}))
+	defer srv.Close()
+	spec := `{"version": 2, "name": "tot", "domain": "sched",
+		"policy": "sjf", "workload": {"class": "syn", "jobs": 4},
+		"replicas": 3, "sweep": {"policy": ["sjf", "fcfs"]}}`
+	resp, err := http.Post(srv.URL+"/v1/scenario/sweep?async=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := map[string]string{}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	_, body := get(t, srv.URL+accepted["status"])
+	var st jobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 6 { // 2 cells × 3 spec replicas
+		t.Errorf("job total = %d, want 6 (from the spec's replicas)", st.Total)
+	}
+}
+
+// TestServeAsyncSweepJobLimit: concurrent running jobs are bounded. The
+// occupying job is planted directly in the table (a real sweep could finish
+// before the second request lands, making the race untestable).
+func TestServeAsyncSweepJobLimit(t *testing.T) {
+	api := New(Config{Parallelism: 1, MaxJobs: 1})
+	api.jobMu.Lock()
+	api.jobs["job-held"] = &job{id: "job-held", cancel: func() {}, state: jobRunning}
+	api.jobOrder = append(api.jobOrder, "job-held")
+	api.jobMu.Unlock()
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	status, out := postSweep(t, srv.URL+"/v1/scenario/sweep?async=1")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("second job: status %d body %s, want 429", status, out["_body"])
+	}
+
+	// Releasing the held job frees a slot.
+	api.jobs["job-held"].finish(nil, nil)
+	if status, _ := postSweep(t, srv.URL+"/v1/scenario/sweep?async=1"); status != http.StatusAccepted {
+		t.Fatalf("freed slot: status %d, want 202", status)
+	}
+}

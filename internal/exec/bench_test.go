@@ -1,0 +1,29 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkExecStream measures the executor's per-task overhead: a plan of
+// 4096 trivial tasks streamed through a 8-worker pool and collected
+// positionally. This is the dispatch+event hot path every runner invocation,
+// scenario sweep, and API request rides on; it is gated by `make
+// bench-compare` against BENCH_base.json.
+func BenchmarkExecStream(b *testing.B) {
+	const tasks = 4096
+	p := &Plan[int]{}
+	for i := 0; i < tasks; i++ {
+		i := i
+		p.Add(fmt.Sprintf("task-%d", i), func(context.Context) (int, error) { return i, nil })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		results, _ := Run(context.Background(), p, Options[int]{Workers: 8})
+		if len(results) != tasks {
+			b.Fatalf("results = %d, want %d", len(results), tasks)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package exec is the unified streaming execution engine of the atlarge
+// harness: a deterministic work-plan executor shared by the experiment
+// runner, the scenario engine, and the serve API.
+//
+// A Plan is an ordered list of Tasks. Stream executes the plan on a bounded
+// worker pool and emits one Event per task over a channel as tasks finish
+// (completion order), so callers can render live progress, aggregate
+// incrementally with memory bounded by what they retain — the executor holds
+// no results — and cancel mid-plan through the context. Events carry the
+// task's position in the plan, so positional collection reproduces the
+// sequential result layout byte-identically at any parallelism level.
+//
+// A Cache plugs checkpoint/resume underneath any plan: completed task
+// results are stored as they finish and served back (Event.Cached) on a
+// rerun, without the task executing again.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of work in a Plan: a stable identifier (also the
+// checkpoint key) and the function that produces its result. Run receives
+// the plan's context so cooperative tasks can honour cancellation.
+type Task[R any] struct {
+	ID  string
+	Run func(ctx context.Context) (R, error)
+}
+
+// Plan is an ordered set of tasks; the order defines Event.Index and thereby
+// the positional result layout consumers rebuild.
+type Plan[R any] struct {
+	Tasks []Task[R]
+}
+
+// Add appends one task to the plan.
+func (p *Plan[R]) Add(id string, run func(ctx context.Context) (R, error)) {
+	p.Tasks = append(p.Tasks, Task[R]{ID: id, Run: run})
+}
+
+// Len returns the number of tasks in the plan.
+func (p *Plan[R]) Len() int { return len(p.Tasks) }
+
+// Event is one task completion streamed out of the executor.
+type Event[R any] struct {
+	// Index is the task's position in the plan.
+	Index int
+	// ID is the task's stable identifier.
+	ID string
+	// Result is the task's output; the zero value when Err is set.
+	Result R
+	// Err is the task's failure, or the plan context's error for tasks
+	// skipped after cancellation.
+	Err error
+	// Skipped marks a task that never ran because the context was done.
+	Skipped bool
+	// Cached marks a result served from the plan's Cache without running.
+	Cached bool
+	// Elapsed is the task's wall-clock run time; zero for skipped and
+	// cached tasks.
+	Elapsed time.Duration
+}
+
+// Cache persists completed task results across plan executions (see the
+// scenario engine's checkpoint directories). Load returns a previously
+// stored result for a task ID; Store records one. Implementations must be
+// safe for concurrent use; Store failures are the implementation's to
+// surface (the executor treats storage as best-effort durability).
+type Cache[R any] interface {
+	Load(id string) (R, bool)
+	Store(id string, r R)
+}
+
+// Options tunes one plan execution.
+type Options[R any] struct {
+	// Workers bounds the pool; <= 0 means GOMAXPROCS (clamped to the plan
+	// size).
+	Workers int
+	// Cache, when non-nil, is consulted before each task runs and updated
+	// after each success.
+	Cache Cache[R]
+}
+
+// Stream executes the plan and returns the event channel. Exactly one Event
+// is emitted per task — results, failures, cache hits, and (after
+// cancellation) skips — and the channel closes once all tasks are accounted
+// for. Tasks are claimed in plan order, so Workers == 1 executes the plan
+// sequentially front to back.
+//
+// Cancellation is cooperative: when ctx is done, unclaimed tasks are skipped
+// with ctx's error and in-flight tasks are expected to return (their Run
+// receives ctx). The caller must drain the channel until it closes; after
+// cancelling, draining is cheap because remaining tasks skip.
+func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event[R] {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.Tasks) {
+		workers = len(p.Tasks)
+	}
+	out := make(chan Event[R])
+	if len(p.Tasks) == 0 {
+		close(out)
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.Tasks) {
+					return
+				}
+				out <- runTask(ctx, &p.Tasks[i], i, opt.Cache)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// runTask produces the event for one task: a skip under a done context, a
+// cache hit, or a live run (stored back into the cache on success).
+func runTask[R any](ctx context.Context, t *Task[R], index int, cache Cache[R]) Event[R] {
+	ev := Event[R]{Index: index, ID: t.ID}
+	if err := ctx.Err(); err != nil {
+		ev.Err = err
+		ev.Skipped = true
+		return ev
+	}
+	if cache != nil {
+		if r, ok := cache.Load(t.ID); ok {
+			ev.Result = r
+			ev.Cached = true
+			return ev
+		}
+	}
+	start := time.Now()
+	ev.Result, ev.Err = t.Run(ctx)
+	ev.Elapsed = time.Since(start)
+	if ev.Err == nil && cache != nil {
+		cache.Store(t.ID, ev.Result)
+	}
+	return ev
+}
+
+// Collect drains a plan's event stream into positional result and error
+// slices (index = plan order), the layout sequential execution would have
+// produced. It returns once the stream closes; with a cancelled context the
+// error slice carries the context error at every unfinished position. each
+// is an optional per-event observer (progress lines), invoked from the
+// draining goroutine in completion order.
+func Collect[R any](events <-chan Event[R], n int, each func(Event[R])) ([]R, []error) {
+	results := make([]R, n)
+	errs := make([]error, n)
+	for ev := range events {
+		results[ev.Index] = ev.Result
+		errs[ev.Index] = ev.Err
+		if each != nil {
+			each(ev)
+		}
+	}
+	return results, errs
+}
+
+// Run is Stream + Collect: execute the plan, return positional results and
+// per-task errors.
+func Run[R any](ctx context.Context, p *Plan[R], opt Options[R]) ([]R, []error) {
+	return Collect(Stream(ctx, p, opt), p.Len(), nil)
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// renderJSON runs the spec's cells and returns the report bytes.
+func renderJSON(t *testing.T, s *Spec, cells []Scenario, opt Options) []byte {
+	t.Helper()
+	rep, err := Run(context.Background(), s, cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointResumeByteIdentical is the core resume invariant: interrupt
+// a checkpointed sweep mid-run, resume it from the same directory, and the
+// final report must be byte-identical to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	s := specJSON(t, validSweepSpec)
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderJSON(t, s, cells, Options{Parallelism: 1})
+
+	dir := t.TempDir()
+
+	// Interrupt at roughly half the plan: cancel from the progress hook,
+	// sequential workers, so a prefix of tasks completes and checkpoints.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = Run(ctx, s, cells, Options{
+		Parallelism: 1,
+		Checkpoint:  dir,
+		Progress: func(done, total int, id string) {
+			if done == total/2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+
+	// The run directory holds the manifest plus the completed prefix.
+	files, err := filepath.Glob(filepath.Join(dir, "*", "task-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("interrupted run checkpointed nothing")
+	}
+	total := len(cells) * 2 // spec replicas
+	if len(files) >= total {
+		t.Fatalf("interrupted run checkpointed all %d tasks; interruption did not interrupt", total)
+	}
+
+	got := renderJSON(t, s, cells, Options{Parallelism: 4, Checkpoint: dir})
+	if !bytes.Equal(got, want) {
+		t.Error("resumed report differs from uninterrupted run")
+	}
+
+	// A fully warm directory resumes again, still byte-identical.
+	again := renderJSON(t, s, cells, Options{Parallelism: 2, Checkpoint: dir})
+	if !bytes.Equal(again, want) {
+		t.Error("second resume differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointHashInvalidation: seed, replica, and spec changes must key
+// distinct run directories, so incompatible results never mix.
+func TestCheckpointHashInvalidation(t *testing.T) {
+	base := specJSON(t, validSweepSpec)
+	h1, err := runHash(base, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2, _ := runHash(base, 8, 2); h2 == h1 {
+		t.Error("seed change did not change the run hash")
+	}
+	if h2, _ := runHash(base, 7, 3); h2 == h1 {
+		t.Error("replica change did not change the run hash")
+	}
+	edited := specJSON(t, validSweepSpec)
+	edited.Workload.Jobs = 13
+	if h2, _ := runHash(edited, 7, 2); h2 == h1 {
+		t.Error("spec edit did not change the run hash")
+	}
+	if h2, _ := runHash(specJSON(t, validSweepSpec), 7, 2); h2 != h1 {
+		t.Error("identical inputs produced different run hashes")
+	}
+}
+
+// TestCheckpointCorruptFileReruns: a torn or foreign task file counts as
+// missing and the task re-runs, rather than poisoning the report.
+func TestCheckpointCorruptFileReruns(t *testing.T) {
+	s := specJSON(t, validSweepSpec)
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderJSON(t, s, cells, Options{Parallelism: 1})
+
+	dir := t.TempDir()
+	got := renderJSON(t, s, cells, Options{Parallelism: 1, Checkpoint: dir})
+	if !bytes.Equal(got, want) {
+		t.Fatal("checkpointed run differs from plain run")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*", "task-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no task files: %v", err)
+	}
+	// Tear one file and swap another's identity.
+	if err := os.WriteFile(files[0], []byte(`{"id":"tor`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[1], []byte(`{"id":"someone-else#0","metrics":[{"name":"x","value":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed := renderJSON(t, s, cells, Options{Parallelism: 1, Checkpoint: dir})
+	if !bytes.Equal(resumed, want) {
+		t.Error("resume over corrupt files deviates from uninterrupted run")
+	}
+}
+
+// TestRunProgressStreams: the progress hook sees every task exactly once
+// with a monotonically increasing done count.
+func TestRunProgressStreams(t *testing.T) {
+	s := specJSON(t, validSweepSpec)
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	_, err = Run(context.Background(), s, cells, Options{Parallelism: 4, Progress: func(done, total int, id string) {
+		calls++
+		if done != calls {
+			t.Errorf("done = %d on call %d", done, calls)
+		}
+		if total != len(cells)*2 {
+			t.Errorf("total = %d, want %d", total, len(cells)*2)
+		}
+		if id == "" {
+			t.Error("empty task id")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(cells)*2 {
+		t.Errorf("progress calls = %d, want %d", calls, len(cells)*2)
+	}
+}
+
+// TestRunCancelledContext: a pre-cancelled context fails fast with the
+// context error and runs nothing.
+func TestRunCancelledContext(t *testing.T) {
+	s := specJSON(t, validSweepSpec)
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, s, cells, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCancelAfterCompletion: a context that fires after the last task
+// has completed must not discard the finished report — no work was lost.
+func TestRunCancelAfterCompletion(t *testing.T) {
+	s := specJSON(t, validSweepSpec)
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := Run(ctx, s, cells, Options{Parallelism: 1, Progress: func(done, total int, id string) {
+		if done == total {
+			cancel() // fires between the last completion and Run's return
+		}
+	}})
+	if err != nil {
+		t.Fatalf("completed run discarded: %v", err)
+	}
+	if len(rep.Cells) != len(cells) {
+		t.Fatalf("report has %d cells, want %d", len(rep.Cells), len(cells))
+	}
+}
+
+// TestRunDuplicateCells: duplicate cell IDs are rejected before anything
+// runs (the registry used to catch this; the plan builder must too).
+func TestRunDuplicateCells(t *testing.T) {
+	s := specJSON(t, validSweepSpec)
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append(cells, cells[0])
+	if _, err := Run(context.Background(), s, dup, Options{}); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("duplicate cell accepted: %v", err)
+	}
+}

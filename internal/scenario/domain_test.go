@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func TestV1SpecAutoUpgrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(s, cells, Options{})
+	rep, err := Run(context.Background(), s, cells, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestAutoscaleSweepRunsAndPairsWorkloads(t *testing.T) {
 	}
 	var outs []string
 	for _, par := range []int{1, 8} {
-		rep, err := Run(s, cells, Options{Parallelism: par})
+		rep, err := Run(context.Background(), s, cells, Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +254,7 @@ func TestAutoscaleSweepRunsAndPairsWorkloads(t *testing.T) {
 	if outs[0] != outs[1] {
 		t.Error("autoscale sweep differs between --parallel 1 and --parallel 8")
 	}
-	rep, err := Run(s, cells, Options{})
+	rep, err := Run(context.Background(), s, cells, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestMMOGSweepRunsDeterministically(t *testing.T) {
 	}
 	var outs []string
 	for _, par := range []int{1, 8} {
-		rep, err := Run(s, cells, Options{Parallelism: par})
+		rep, err := Run(context.Background(), s, cells, Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,7 +309,7 @@ func TestMMOGSweepRunsDeterministically(t *testing.T) {
 	if outs[0] != outs[1] {
 		t.Error("mmog sweep differs between --parallel 1 and --parallel 8")
 	}
-	rep, err := Run(s, cells, Options{})
+	rep, err := Run(context.Background(), s, cells, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -31,7 +32,7 @@ func TestSweepGolden(t *testing.T) {
 			}
 
 			render := func(parallel int) []byte {
-				rep, err := Run(spec, cells, Options{Replicas: 3, Parallelism: parallel})
+				rep, err := Run(context.Background(), spec, cells, Options{Replicas: 3, Parallelism: parallel})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -239,6 +241,17 @@ func (r *Report) writeCellTable(w io.Writer) {
 		table = append(table, row)
 	}
 	writeAligned(w, table)
+}
+
+// sortedMetricNames returns the union of metric names over cells, sorted.
+func sortedMetricNames(cells []Cell) []string {
+	seen := map[string]bool{}
+	for _, c := range cells {
+		for name := range c.Metrics {
+			seen[name] = true
+		}
+	}
+	return slices.Sorted(maps.Keys(seen))
 }
 
 // mark flags cells that are best in at least one axis group.

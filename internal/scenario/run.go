@@ -1,11 +1,14 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"strconv"
 
 	"atlarge"
+	"atlarge/internal/exec"
 	"atlarge/internal/sim"
 	"atlarge/internal/workload"
 )
@@ -15,17 +18,36 @@ type Options struct {
 	// Replicas overrides the spec's replica count; 0 keeps the spec value
 	// (which itself defaults to 1).
 	Replicas int
-	// Parallelism bounds the runner's worker pool; 0 means GOMAXPROCS.
+	// Parallelism bounds the executor's worker pool; 0 means GOMAXPROCS.
 	// Reports are byte-identical at every parallelism level.
 	Parallelism int
 	// Seed overrides the spec's base seed when non-nil.
 	Seed *int64
+	// Progress, when non-nil, observes every (cell, replica) completion as
+	// it streams out of the executor: done counts completions so far, total
+	// is the plan size, and id names the finished task ("name/policy=sjf#1").
+	// Calls arrive sequentially, in completion order.
+	Progress func(done, total int, id string)
+	// Checkpoint, when non-empty, persists completed (cell, replica)
+	// results under this directory and resumes from them on a rerun: the
+	// run's files live in Checkpoint/<hash>/ where <hash> is a content hash
+	// of the spec document plus the effective seed and replica count, so
+	// any spec edit, seed change, or replica change starts a fresh run
+	// directory instead of mixing incompatible results. A resumed sweep
+	// produces a report byte-identical to an uninterrupted run. The hash
+	// does not cover the binary itself: after upgrading atlarge across a
+	// change to a simulator, clear the directory — stored results are
+	// reused as-is.
+	Checkpoint string
 }
 
-// Run executes the concrete scenarios over the parallel atlarge.Runner and
-// aggregates each cell's replica metrics into mean ± 95% CI.
+// Run executes the concrete scenarios over the streaming work-plan executor
+// (internal/exec) and aggregates each cell's replica metrics into mean ±
+// 95% CI incrementally as completions stream in — full replica documents
+// are never buffered, so memory is bounded by the metric values the final
+// report itself carries.
 //
-// Every (scenario, replica) pair is one unit of work with two deterministic
+// Every (scenario, replica) pair is one plan task with two deterministic
 // derived seeds: the simulation seed atlarge.DeriveSeed(base, cellID,
 // replica), and the workload-generation seed DeriveSeed(base, workloadID,
 // replica), where workloadID carries only the generation-relevant axes of
@@ -33,7 +55,12 @@ type Options struct {
 // therefore face the identical generated input per replica (common random
 // numbers), so their comparison measures the design change, not workload
 // sampling noise.
-func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
+//
+// Cancelling ctx stops the sweep cooperatively: unstarted tasks are
+// skipped and the context's error is returned. With Options.Checkpoint set,
+// completed tasks persist first, so a cancelled sweep resumes where it
+// stopped.
+func Run(ctx context.Context, s *Spec, cells []Scenario, opt Options) (*Report, error) {
 	d, err := s.domainImpl()
 	if err != nil {
 		return nil, err
@@ -50,34 +77,99 @@ func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
 		seed = *opt.Seed
 	}
 
-	reg := atlarge.NewRegistry()
-	ids := make([]string, 0, len(cells)*replicas)
+	// One task per (cell, replica), cell-major, carrying its own seed pair;
+	// the index cell*replicas+rep is the positional slot aggregation reads.
+	plan := &exec.Plan[[]MetricValue]{}
+	seen := make(map[string]bool, len(cells))
 	for i := range cells {
+		sc := &cells[i]
+		if seen[sc.ID()] {
+			return nil, fmt.Errorf("scenario: duplicate cell %q (a sweep axis repeats a value?)", sc.ID())
+		}
+		seen[sc.ID()] = true
 		for rep := 0; rep < replicas; rep++ {
-			sc := &cells[i]
-			id := fmt.Sprintf("%s#%d", sc.ID(), rep)
 			workloadSeed := atlarge.DeriveSeed(seed, sc.WorkloadID(), rep)
 			simSeed := atlarge.DeriveSeed(seed, sc.ID(), rep)
-			if err := reg.Register(atlarge.Experiment{
-				ID:    id,
-				Title: "scenario " + id,
-				Tags:  []string{"scenario"},
-				Order: len(ids),
-				// The runner's own derived seed is ignored: this unit
-				// carries its pair of seeds computed above.
-				Run: func(int64) (*atlarge.Report, error) { return runCell(sc, workloadSeed, simSeed) },
-			}); err != nil {
-				return nil, fmt.Errorf("scenario: duplicate cell %q (a sweep axis repeats a value?): %w", sc.ID(), err)
-			}
-			ids = append(ids, id)
+			plan.Add(sc.ID()+"#"+strconv.Itoa(rep), func(context.Context) ([]MetricValue, error) {
+				return sc.domain.Run(sc, workloadSeed, simSeed)
+			})
 		}
 	}
 
-	runner := &atlarge.Runner{Registry: reg, Parallelism: opt.Parallelism}
-	results, err := runner.Run(ids, seed)
-	if err != nil {
-		return nil, err
+	execOpt := exec.Options[[]MetricValue]{Workers: opt.Parallelism}
+	var ckpt *checkpoint
+	if opt.Checkpoint != "" {
+		ckpt, err = openCheckpoint(opt.Checkpoint, s, seed, replicas, len(cells))
+		if err != nil {
+			return nil, err
+		}
+		execOpt.Cache = ckpt
 	}
+
+	// Aggregate incrementally: each event's metric values fold into its
+	// cell's accumulator (replica slot = index % replicas) and the full
+	// result is dropped. Failures are collected in task order so the joined
+	// error is deterministic at any parallelism.
+	acc := make([]cellAccumulator, len(cells))
+	for i := range acc {
+		acc[i].byReplica = make([][]MetricValue, replicas)
+	}
+	errs := make([]error, plan.Len())
+	done := 0
+	for ev := range exec.Stream(ctx, plan, execOpt) {
+		if ev.Err != nil {
+			errs[ev.Index] = ev.Err
+		} else {
+			acc[ev.Index/replicas].byReplica[ev.Index%replicas] = ev.Result
+		}
+		done++
+		if opt.Progress != nil {
+			opt.Progress(done, plan.Len(), ev.ID)
+		}
+	}
+	// Interrupted means work was actually lost: the context fired AND some
+	// task was skipped or returned its error. A deadline that expires after
+	// the final task completed must not discard the finished report.
+	lost := false
+	for _, err := range errs {
+		if err != nil {
+			lost = true
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil && lost {
+		// A genuine cell failure must not be masked by the concurrent
+		// cancellation: surface the first one alongside the interruption.
+		for i, terr := range errs {
+			if terr != nil && !errors.Is(terr, context.Canceled) && !errors.Is(terr, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w; cell %s (replica %d) also failed: %v",
+					err, cells[i/replicas].ID(), i%replicas, terr)
+				break
+			}
+		}
+		if ckpt != nil {
+			if serr := ckpt.Err(); serr != nil {
+				return nil, fmt.Errorf("scenario: run interrupted (%w) and checkpointing failed: %v", err, serr)
+			}
+			return nil, fmt.Errorf("scenario: run interrupted: %w (completed work is checkpointed under %s; rerun with the same --checkpoint %s to resume)", err, ckpt.dir, ckpt.root)
+		}
+		return nil, fmt.Errorf("scenario: run interrupted: %w", err)
+	}
+	// Every failed cell is reported (joined, in task order), so one rerun
+	// is enough to see and fix all of them.
+	var failures []error
+	for i, err := range errs {
+		if err != nil {
+			failures = append(failures, fmt.Errorf("scenario: cell %s (replica %d): %w",
+				cells[i/replicas].ID(), i%replicas, err))
+		}
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
+	}
+	// A storage failure on a run that nonetheless completed is not fatal:
+	// the report in hand is correct and complete, only the durability of a
+	// future resume suffered (Cache storage is best-effort by contract).
 
 	rep := &Report{
 		Name:        s.Name,
@@ -91,14 +183,44 @@ func Run(s *Spec, cells []Scenario, opt Options) (*Report, error) {
 		directions:  metricDirections(d),
 	}
 	for i := range cells {
-		cell, err := parseCell(&cells[i], seed, results[i*replicas:(i+1)*replicas])
-		if err != nil {
-			return nil, err
-		}
-		rep.Cells[i] = cell
+		rep.Cells[i] = acc[i].cell(&cells[i], seed)
 	}
 	rep.highlight()
 	return rep, nil
+}
+
+// cellAccumulator folds one cell's streamed replica results; only the typed
+// metric values are retained, never the surrounding documents.
+type cellAccumulator struct {
+	// byReplica holds each replica's emitted metrics, replica index order.
+	byReplica [][]MetricValue
+}
+
+// cell assembles the aggregated Cell: metric emission order comes from
+// replica 0, values fold across replicas in replica order. Cell.Seed is the
+// replica-0 simulation seed, so a single replica of the cell can be
+// reproduced directly.
+func (a *cellAccumulator) cell(sc *Scenario, baseSeed int64) Cell {
+	cell := Cell{
+		ID:      sc.ID(),
+		Params:  sc.Params,
+		Seed:    atlarge.DeriveSeed(baseSeed, sc.ID(), 0),
+		Metrics: map[string]Metric{},
+	}
+	values := map[string][]float64{}
+	var order []string
+	for rep, ms := range a.byReplica {
+		for _, m := range ms {
+			if rep == 0 {
+				order = append(order, m.Name)
+			}
+			values[m.Name] = append(values[m.Name], m.Value)
+		}
+	}
+	for _, name := range order {
+		cell.Metrics[name] = NewMetric(values[name])
+	}
+	return cell
 }
 
 // metricDirections maps a domain's metric names to their comparison
@@ -122,45 +244,6 @@ func reportAxes(s *Spec) []Axis {
 		out = append(out, ax)
 	}
 	return out
-}
-
-// parseCell folds one cell's replica results into a Cell. Cell.Seed is the
-// replica-0 simulation seed, so a single replica of the cell can be
-// reproduced directly.
-func parseCell(sc *Scenario, baseSeed int64, replicaResults []atlarge.Result) (Cell, error) {
-	cell := Cell{
-		ID:      sc.ID(),
-		Params:  sc.Params,
-		Seed:    atlarge.DeriveSeed(baseSeed, sc.ID(), 0),
-		Metrics: map[string]Metric{},
-	}
-	values := map[string][]float64{}
-	var order []string
-	for rep, res := range replicaResults {
-		for _, m := range res.Report.Metrics {
-			if rep == 0 {
-				order = append(order, m.Name)
-			}
-			values[m.Name] = append(values[m.Name], m.Value)
-		}
-	}
-	for _, name := range order {
-		cell.Metrics[name] = NewMetric(values[name])
-	}
-	return cell, nil
-}
-
-// runCell executes one (scenario, replica) through its domain and carries
-// the emitted measurements as typed report metrics — values flow to the
-// aggregation in value space, never through rendered text.
-func runCell(sc *Scenario, workloadSeed, simSeed int64) (*atlarge.Report, error) {
-	values, err := sc.domain.Run(sc, workloadSeed, simSeed)
-	if err != nil {
-		return nil, err
-	}
-	rep := atlarge.NewReport(sc.ID(), "scenario "+sc.ID())
-	rep.Metrics = values
-	return rep, nil
 }
 
 // buildTrace resolves the scenario's workload for one replica seed: an
@@ -227,20 +310,4 @@ func scaleToLoad(tr *workload.Trace, target float64, totalCores int) {
 	for _, j := range tr.Jobs {
 		j.Submit = first + sim.Time(float64(j.Submit-first)*factor)
 	}
-}
-
-// sortedMetricNames returns the union of metric names over cells, sorted.
-func sortedMetricNames(cells []Cell) []string {
-	seen := map[string]bool{}
-	for _, c := range cells {
-		for name := range c.Metrics {
-			seen[name] = true
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for name := range seen {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -158,7 +159,7 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	}
 	var outs []string
 	for _, par := range []int{1, 8} {
-		rep, err := Run(s, cells, Options{Parallelism: par})
+		rep, err := Run(context.Background(), s, cells, Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestRunReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(s, cells, Options{Parallelism: 4})
+	rep, err := Run(context.Background(), s, cells, Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestRunSeedOverrideChangesResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(seed int64) float64 {
-		rep, err := Run(s, cells, Options{Seed: &seed})
+		rep, err := Run(context.Background(), s, cells, Options{Seed: &seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,7 +267,7 @@ func TestRunPortfolioPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(s, cells, Options{})
+	rep, err := Run(context.Background(), s, cells, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestRunTraceImport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(s, cells, Options{})
+	rep, err := Run(context.Background(), s, cells, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +483,7 @@ func TestPolicyCellsSharePairedWorkloads(t *testing.T) {
 	if cells[0].WorkloadID() != cells[1].WorkloadID() {
 		t.Fatalf("workload IDs differ: %q vs %q", cells[0].WorkloadID(), cells[1].WorkloadID())
 	}
-	rep, err := Run(s, cells, Options{Replicas: 2})
+	rep, err := Run(context.Background(), s, cells, Options{Replicas: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,8 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -103,25 +104,39 @@ func formatValue(v any) string {
 	}
 }
 
-// maxCells bounds a single expansion; larger sweeps should be split.
-const maxCells = 4096
+// MaxCells bounds a single expansion; larger sweeps should be split.
+const MaxCells = 4096
 
 // sweepAxes returns the spec's swept axis names in expansion order
 // (lexicographic, since JSON objects carry no order).
 func (s *Spec) sweepAxes() []string {
-	out := make([]string, 0, len(s.Sweep))
-	for name := range s.Sweep {
-		out = append(out, name)
+	return slices.Sorted(maps.Keys(s.Sweep))
+}
+
+// SweepSize returns the number of cells the spec's sweep would expand to —
+// the product of the axis cardinalities, computed from the cardinalities
+// alone and saturating at MaxCells+1 — so callers can enforce size bounds
+// before any cell is materialized (a hostile spec must never get its
+// cross-product allocated first) and without integer overflow however many
+// axes multiply together.
+func SweepSize(s *Spec) int {
+	cells := 1
+	for _, values := range s.Sweep {
+		if len(values) == 0 {
+			continue
+		}
+		if cells > (MaxCells+1)/len(values) {
+			return MaxCells + 1
+		}
+		cells *= len(values)
 	}
-	sort.Strings(out)
-	return out
+	return cells
 }
 
 // validateSweep checks every swept axis and value against the domain's axis
 // catalog.
 func (s *Spec) validateSweep(d Domain, bad func(string, ...any)) {
 	axes := d.Axes()
-	cells := 1
 	for _, name := range s.sweepAxes() {
 		def, ok := axes[name]
 		if !ok {
@@ -134,7 +149,6 @@ func (s *Spec) validateSweep(d Domain, bad func(string, ...any)) {
 			bad("sweep.%s: empty value list", name)
 			continue
 		}
-		cells *= len(values)
 		seen := map[string]bool{}
 		for i, v := range values {
 			if err := def.Check(v); err != nil {
@@ -154,8 +168,16 @@ func (s *Spec) validateSweep(d Domain, bad func(string, ...any)) {
 			}
 		}
 	}
-	if cells > maxCells {
-		bad("sweep: expands to %d scenarios, max %d; split the sweep", cells, maxCells)
+	// Bound the expansion from the cardinalities alone (saturating, so a
+	// degenerate many-axis sweep cannot overflow the product past the
+	// check): the cross-product is never materialized for an oversized
+	// sweep.
+	if cells := SweepSize(s); cells > MaxCells {
+		size := strconv.Itoa(cells)
+		if cells == MaxCells+1 {
+			size = "more than " + strconv.Itoa(MaxCells)
+		}
+		bad("sweep: expands to %s scenarios, max %d; split the sweep", size, MaxCells)
 	}
 }
 

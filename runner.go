@@ -1,14 +1,19 @@
 package atlarge
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+	"strconv"
 	"time"
+
+	"atlarge/internal/exec"
 )
 
-// Runner executes registered experiments across a bounded worker pool.
+// Runner executes registered experiments across a bounded worker pool. It is
+// a thin adapter over the streaming work-plan executor (internal/exec): the
+// plan holds one task per (experiment, replica), completions stream back as
+// they finish, and collection is positional.
 //
 // Every (experiment, replica) pair derives its own seed from the base seed,
 // and results are collected positionally, so the output is identical for any
@@ -23,6 +28,12 @@ type Runner struct {
 	// seeds and aggregates numeric outputs (mean and 95% confidence
 	// interval); <= 0 means 1.
 	Replicas int
+	// Progress, when non-nil, observes every task completion as it streams
+	// out of the executor: done counts completions so far (including the one
+	// being reported), total is the plan size, and id names the finished
+	// (experiment, replica) task ("tab9#2"). Calls arrive sequentially from
+	// the collecting goroutine, in completion order.
+	Progress func(done, total int, id string)
 }
 
 // Result is the outcome of one experiment under the Runner.
@@ -77,11 +88,22 @@ func (r *Runner) RunAll(baseSeed int64) ([]Result, error) {
 	return r.Run(r.registry().IDs(), baseSeed)
 }
 
-// Run executes the given experiments. Unknown IDs fail the whole call with
-// the canonical unknown-experiment error before anything runs. Individual
-// experiment failures are reported per Result (and joined into the returned
-// error) without aborting the other experiments.
+// Run executes the given experiments; it is RunContext under a background
+// context.
 func (r *Runner) Run(ids []string, baseSeed int64) ([]Result, error) {
+	return r.RunContext(context.Background(), ids, baseSeed)
+}
+
+// RunContext executes the given experiments under a context. Unknown IDs
+// fail the whole call with the canonical unknown-experiment error before
+// anything runs. Individual experiment failures are reported per Result (and
+// joined into the returned error) without aborting the other experiments.
+//
+// Cancelling ctx stops the run cooperatively: tasks not yet started are
+// skipped, in-flight experiments that honour ctx (Experiment.RunContext)
+// return early, and every unfinished (experiment, replica) carries the
+// context's error in its Result and in the joined return error.
+func (r *Runner) RunContext(ctx context.Context, ids []string, baseSeed int64) ([]Result, error) {
 	reg := r.registry()
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
@@ -95,68 +117,56 @@ func (r *Runner) Run(ids []string, baseSeed int64) ([]Result, error) {
 	if replicas <= 0 {
 		replicas = 1
 	}
-	workers := r.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if n := len(exps) * replicas; workers > n {
-		workers = n
-	}
 
-	reports := make([][]*Report, len(exps))
-	errs := make([][]error, len(exps))
-	elapsed := make([][]time.Duration, len(exps))
+	// One task per (experiment, replica), in experiment-major order; the
+	// positional index i*replicas+k is the collection slot, so reports land
+	// exactly where the sequential loop would have put them.
+	plan := &exec.Plan[*Report]{}
 	for i := range exps {
-		reports[i] = make([]*Report, replicas)
-		errs[i] = make([]error, replicas)
-		elapsed[i] = make([]time.Duration, replicas)
-	}
-
-	type job struct{ exp, rep int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				start := time.Now()
-				rep, err := exps[j.exp].Run(DeriveSeed(baseSeed, exps[j.exp].ID, j.rep))
-				elapsed[j.exp][j.rep] = time.Since(start)
-				reports[j.exp][j.rep] = rep
-				errs[j.exp][j.rep] = err
-			}
-		}()
-	}
-	for i := range exps {
+		e := exps[i]
 		for k := 0; k < replicas; k++ {
-			jobs <- job{exp: i, rep: k}
+			seed := DeriveSeed(baseSeed, e.ID, k)
+			plan.Add(e.ID+"#"+strconv.Itoa(k), func(ctx context.Context) (*Report, error) {
+				return e.run(ctx, seed)
+			})
 		}
 	}
-	close(jobs)
-	wg.Wait()
+
+	events := exec.Stream(ctx, plan, exec.Options[*Report]{Workers: r.Parallelism})
+	elapsed := make([]time.Duration, plan.Len())
+	done := 0
+	reports, errs := exec.Collect(events, plan.Len(), func(ev exec.Event[*Report]) {
+		elapsed[ev.Index] = ev.Elapsed
+		done++
+		if r.Progress != nil {
+			r.Progress(done, plan.Len(), ev.ID)
+		}
+	})
 
 	results := make([]Result, len(exps))
 	var failures []error
 	for i, e := range exps {
 		res := Result{
-			ID:      e.ID,
-			Title:   e.Title,
-			Seed:    DeriveSeed(baseSeed, e.ID, 0),
-			Reports: reports[i],
+			ID:    e.ID,
+			Title: e.Title,
+			Seed:  DeriveSeed(baseSeed, e.ID, 0),
+			// Full slice expression: capacity stops at this experiment's
+			// window, so a caller appending to Reports can never clobber
+			// the next experiment's replica slots.
+			Reports: reports[i*replicas : (i+1)*replicas : (i+1)*replicas],
 		}
 		for k := 0; k < replicas; k++ {
-			res.Elapsed += elapsed[i][k]
-			if errs[i][k] != nil && res.Err == nil {
-				res.Err = fmt.Errorf("atlarge: experiment %s (replica %d): %w", e.ID, k, errs[i][k])
+			res.Elapsed += elapsed[i*replicas+k]
+			if err := errs[i*replicas+k]; err != nil && res.Err == nil {
+				res.Err = fmt.Errorf("atlarge: experiment %s (replica %d): %w", e.ID, k, err)
 			}
 		}
 		if res.Err != nil {
 			failures = append(failures, res.Err)
 		} else {
-			res.Report = reports[i][0]
+			res.Report = res.Reports[0]
 			if replicas > 1 {
-				res.Aggregate = AggregateReports(reports[i])
+				res.Aggregate = AggregateReports(res.Reports)
 			}
 		}
 		results[i] = res

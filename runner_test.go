@@ -100,6 +100,11 @@ func TestRunnerReplicas(t *testing.T) {
 	if r.Report != r.Reports[0] {
 		t.Error("Report must be replica 0")
 	}
+	// Each Result's Reports window is capacity-capped, so appending to one
+	// can never overwrite a neighbouring experiment's replica slots.
+	if cap(r.Reports) != len(r.Reports) {
+		t.Errorf("Reports cap = %d, want %d (full slice expression)", cap(r.Reports), len(r.Reports))
+	}
 	if r.Aggregate == nil {
 		t.Fatal("no aggregate document")
 	}
