@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke sweep-resume-smoke clean
+.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke serve-load serve-restart-smoke sweep-resume-smoke clean
 
 all: build lint test
 
@@ -77,8 +77,11 @@ catalog-golden:
 	@echo "catalog-golden: OK"
 
 # End-to-end smoke of `atlarge serve`: boot it on an ephemeral port, check
-# /v1/experiments matches the committed catalog golden, and hit one /v1/run
-# twice — the second (cached) response must be byte-identical to the first.
+# /v1/experiments matches the committed catalog golden, hit one /v1/run
+# twice (the second, cached response must be byte-identical), drive a job
+# through the redesigned /v1/jobs resource AND the deprecated
+# /v1/scenario/jobs alias (both must serve the same result bytes, and an
+# identical resubmission must dedup onto the same job), and scrape /metrics.
 serve-smoke:
 	@set -e; tmp=$$(mktemp -d); \
 	trap 'kill "$$pid" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
@@ -94,7 +97,83 @@ serve-smoke:
 	curl -fsS "$$url/v1/run?ids=fig9&seed=7" > "$$tmp/run1.json"; \
 	curl -fsS "$$url/v1/run?ids=fig9&seed=7" > "$$tmp/run2.json"; \
 	cmp "$$tmp/run1.json" "$$tmp/run2.json"; \
-	echo "serve-smoke: OK"
+	printf '%s\n' '{"version": 2, "name": "smoke", "domain": "sched",' \
+		'"policy": "sjf", "workload": {"class": "syn", "jobs": 8},' \
+		'"cluster": {"machines": 2}, "seed": 7,' \
+		'"sweep": {"policy": ["sjf", "fcfs"]}}' > "$$tmp/spec.json"; \
+	printf '{"kind": "sweep", "spec": %s}' "$$(cat "$$tmp/spec.json")" > "$$tmp/job.json"; \
+	curl -fsS -X POST --data-binary @"$$tmp/job.json" "$$url/v1/jobs" > "$$tmp/accept.json"; \
+	id=$$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' "$$tmp/accept.json" | head -1); \
+	test -n "$$id" || { echo "serve-smoke: no job id"; cat "$$tmp/accept.json"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -fsS "$$url/v1/jobs/$$id" > "$$tmp/doc.json"; \
+		grep -q '"state": "done"' "$$tmp/doc.json" && break; sleep 0.1; \
+	done; \
+	grep -q '"state": "done"' "$$tmp/doc.json" || { echo "serve-smoke: job never finished"; cat "$$tmp/doc.json"; exit 1; }; \
+	curl -fsS "$$url/v1/jobs/$$id/result" > "$$tmp/result.json"; \
+	curl -fsS -X POST --data-binary @"$$tmp/spec.json" "$$url/v1/scenario/sweep" > "$$tmp/sync.json"; \
+	cmp "$$tmp/result.json" "$$tmp/sync.json"; \
+	curl -fsS -X POST --data-binary @"$$tmp/job.json" "$$url/v1/jobs" | grep -q "\"id\": \"$$id\"" \
+		|| { echo "serve-smoke: identical resubmission did not dedup"; exit 1; }; \
+	curl -fsS "$$url/v1/scenario/jobs/$$id/result" > "$$tmp/legacy-result.json"; \
+	cmp "$$tmp/legacy-result.json" "$$tmp/result.json"; \
+	curl -fsS "$$url/metrics" > "$$tmp/metrics.txt"; \
+	for m in atlarge_queue_depth atlarge_cache_hit_ratio atlarge_http_requests_total atlarge_jobs; do \
+		grep -q "$$m" "$$tmp/metrics.txt" || { echo "serve-smoke: /metrics missing $$m"; exit 1; }; \
+	done; \
+	echo "serve-smoke: OK (run cache, /v1/jobs, dedup, legacy alias, /metrics)"
+
+# Load-test the serving layer in-process: N concurrent clients of mixed
+# /v1/run and async /v1/jobs traffic; asserts zero dropped jobs, a
+# client-observed p99 bound, and that /metrics reconciles with the clients'
+# own tally. See cmd/serve-load.
+serve-load:
+	$(GO) run ./cmd/serve-load -clients 8 -rounds 30 -jobs 2 -p99 2s
+
+# Restart-durability smoke of `atlarge serve --state-dir`: submit the same
+# multi-second sweep sweep-resume-smoke uses as an async job, SIGKILL the
+# server mid-flight, restart it on the same state dir, and byte-compare the
+# recovered job's result against an uninterrupted CLI run. The kill lands
+# wherever it lands — resume must be byte-identical from ANY prefix of
+# completed work.
+serve-restart-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill "$$pid" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/atlarge" ./cmd/atlarge; \
+	printf '%s\n' '{"version": 1, "name": "restart-smoke",' \
+		'"workload": {"class": "scientific", "jobs": 700},' \
+		'"cluster": {"kind": "CL", "machines": 16, "cores": 8},' \
+		'"replicas": 2, "seed": 42,' \
+		'"sweep": {"policy": ["sjf", "fcfs", "easy-bf", "random"], "load": [0.5, 0.7, 0.9, 1.1]}}' \
+		> "$$tmp/spec.json"; \
+	"$$tmp/atlarge" scenario sweep "$$tmp/spec.json" --parallel 1 --format json > "$$tmp/uninterrupted.json"; \
+	"$$tmp/atlarge" serve --addr 127.0.0.1:0 --parallel 2 --state-dir "$$tmp/state" > "$$tmp/serve1.log" 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q "serving" "$$tmp/serve1.log" 2>/dev/null && break; sleep 0.2; \
+	done; \
+	url=$$(sed -n 's|.*\(http://[0-9.:]*\).*|\1|p' "$$tmp/serve1.log"); \
+	test -n "$$url" || { echo "serve-restart-smoke: server never came up"; cat "$$tmp/serve1.log"; exit 1; }; \
+	printf '{"kind": "sweep", "spec": %s}' "$$(cat "$$tmp/spec.json")" > "$$tmp/job.json"; \
+	curl -fsS -X POST --data-binary @"$$tmp/job.json" "$$url/v1/jobs" > "$$tmp/accept.json"; \
+	id=$$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' "$$tmp/accept.json" | head -1); \
+	test -n "$$id" || { echo "serve-restart-smoke: no job id"; cat "$$tmp/accept.json"; exit 1; }; \
+	sleep 1.5; \
+	kill -9 "$$pid" 2>/dev/null; wait "$$pid" 2>/dev/null || true; \
+	echo "serve-restart-smoke: killed server with $$(ls "$$tmp"/state/$$id/task-*.json 2>/dev/null | wc -l)/32 tasks checkpointed"; \
+	"$$tmp/atlarge" serve --addr 127.0.0.1:0 --parallel 2 --state-dir "$$tmp/state" > "$$tmp/serve2.log" 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q "serving" "$$tmp/serve2.log" 2>/dev/null && break; sleep 0.2; \
+	done; \
+	url=$$(sed -n 's|.*\(http://[0-9.:]*\).*|\1|p' "$$tmp/serve2.log"); \
+	test -n "$$url" || { echo "serve-restart-smoke: restart never came up"; cat "$$tmp/serve2.log"; exit 1; }; \
+	for i in $$(seq 1 300); do \
+		curl -fsS "$$url/v1/jobs/$$id" > "$$tmp/doc.json" 2>/dev/null || true; \
+		grep -q '"state": "done"' "$$tmp/doc.json" 2>/dev/null && break; sleep 0.2; \
+	done; \
+	grep -q '"state": "done"' "$$tmp/doc.json" || { echo "serve-restart-smoke: job never finished after restart"; cat "$$tmp/doc.json"; exit 1; }; \
+	curl -fsS "$$url/v1/jobs/$$id/result" > "$$tmp/resumed.json"; \
+	cmp "$$tmp/resumed.json" "$$tmp/uninterrupted.json"; \
+	echo "serve-restart-smoke: OK (recovered job result byte-identical to uninterrupted run)"
 
 # End-to-end check of checkpoint/resume through the CLI: run a sweep sized
 # to take a few seconds, kill it at roughly 50% via --timeout, resume from

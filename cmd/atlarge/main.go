@@ -5,7 +5,7 @@
 //
 //	atlarge list [-tag T] [--domains] [--format text|json]
 //	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json] [--progress] [--timeout D]
-//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N]
+//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N] [--rate R] [--burst B] [--queue-depth Q] [--max-jobs J] [--state-dir DIR]
 //	atlarge scenario validate <spec.json> [--domain D]
 //	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D]
 //	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [--checkpoint DIR]
@@ -25,8 +25,19 @@
 // GET /v1/run?ids=&seed=&replicas= (typed results, LRU-cached per
 // (experiment, seed, replicas) so repeated queries skip the simulation),
 // GET /v1/run/stream (the same run as live NDJSON progress events),
-// POST /v1/scenario/sweep (a scenario spec as the request body; add
-// ?async=1 for a background job steered via /v1/scenario/jobs/{id}).
+// POST /v1/scenario/sweep (a scenario spec as the request body, run
+// synchronously), and the async jobs resource: POST /v1/jobs submits
+// {"kind": "sweep", "spec": {...}} and GET/DELETE /v1/jobs/{id} (plus
+// /result) steer it. Job IDs are the content hash of (spec, seed,
+// replicas), so identical submissions dedup onto one job. GET /metrics
+// exports Prometheus text-format server metrics. With --state-dir, jobs are
+// durable: an interrupted server re-lists finished jobs on restart and
+// resumes interrupted ones byte-identically from their checkpointed tasks.
+// --rate/--burst rate-limit work-submitting endpoints per client (keyed by
+// the X-Atlarge-Client header or remote host), and --queue-depth refuses
+// submissions with 429 + a computed Retry-After once the pending-task queue
+// is that deep. /v1/scenario/jobs/* remains as a deprecated alias of
+// /v1/jobs.
 //
 // scenario sweep --checkpoint DIR persists every completed (cell, replica)
 // result under DIR as it finishes and resumes from there on a rerun: an
@@ -207,14 +218,36 @@ func runTo(w io.Writer, args []string) error {
 	case "serve":
 		fs := newFlagSet("serve")
 		var (
-			addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-			parallel = fs.Int("parallel", 0, "worker pool size behind the API (0 = GOMAXPROCS)")
-			cache    = fs.Int("cache", 256, "LRU result-cache capacity in (experiment, seed, replicas) entries")
+			addr       = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+			parallel   = fs.Int("parallel", 0, "worker pool size behind the API (0 = GOMAXPROCS)")
+			cache      = fs.Int("cache", 256, "LRU result-cache capacity in (experiment, seed, replicas) entries")
+			rate       = fs.Float64("rate", 0, "per-client admission rate for work-submitting endpoints (requests/second; 0 = unlimited)")
+			burst      = fs.Int("burst", 0, "token-bucket burst per client (0 = max(1, ceil(rate)))")
+			queueDepth = fs.Int("queue-depth", 0, "pending-task bound before submissions get 429 + Retry-After (0 = 4096)")
+			maxJobs    = fs.Int("max-jobs", 0, "concurrently running async jobs (0 = 4)")
+			stateDir   = fs.String("state-dir", "", "directory for durable job state; jobs survive restarts and resume from checkpoints")
 		)
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		srv := api.New(api.Config{Parallelism: *parallel, CacheSize: *cache})
+		srv := api.New(api.Config{
+			Parallelism: *parallel,
+			CacheSize:   *cache,
+			Rate:        *rate,
+			Burst:       *burst,
+			QueueDepth:  *queueDepth,
+			MaxJobs:     *maxJobs,
+			StateDir:    *stateDir,
+		})
+		if *stateDir != "" {
+			resumed, restored, err := srv.RecoverJobs()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atlarge serve: job recovery: %v\n", err)
+			}
+			if resumed+restored > 0 {
+				fmt.Fprintf(w, "recovered %d job(s): %d resumed, %d restored\n", resumed+restored, resumed, restored)
+			}
+		}
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			return err

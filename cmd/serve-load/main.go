@@ -1,0 +1,373 @@
+// Command serve-load is the load-test harness behind `make serve-load`: it
+// boots an in-process Results API server on an ephemeral port, drives it
+// with N concurrent clients issuing a mix of /v1/run queries and async
+// /v1/jobs sweeps, and then audits the run — zero dropped jobs (every
+// accepted job reaches done and serves a result), a client-observed p99
+// latency bound on /v1/run, and a /metrics scrape that reconciles with the
+// client-side tally (per-endpoint request counts, histogram sample counts,
+// job-state gauges, task totals, a drained queue).
+//
+// The catalog is synthetic — tiny experiments with real report plumbing —
+// so the harness exercises the serving machinery (admission, coalescing,
+// caching, the job table, metrics middleware) rather than simulation speed.
+//
+// Exit status 0 means every audit passed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"atlarge"
+	"atlarge/internal/api"
+)
+
+func main() {
+	var (
+		clients    = flag.Int("clients", 8, "concurrent clients")
+		rounds     = flag.Int("rounds", 30, "/v1/run queries per client")
+		jobsPer    = flag.Int("jobs", 2, "async sweep jobs per client")
+		p99Bound   = flag.Duration("p99", 2*time.Second, "client-observed p99 bound on /v1/run")
+		rate       = flag.Float64("rate", 0, "server per-client admission rate (0 = unlimited)")
+		queueDepth = flag.Int("queue-depth", 0, "server pending-task bound (0 = default)")
+		parallel   = flag.Int("parallel", 4, "server worker pool size")
+	)
+	flag.Parse()
+	if err := run(*clients, *rounds, *jobsPer, *p99Bound, *rate, *queueDepth, *parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-load: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// syntheticRegistry builds a small, fast catalog with real report plumbing.
+func syntheticRegistry() *atlarge.Registry {
+	reg := atlarge.NewRegistry()
+	for i, id := range []string{"synth-a", "synth-b", "synth-c"} {
+		id := id
+		reg.MustRegister(atlarge.Experiment{
+			ID:    id,
+			Title: "synthetic " + id,
+			Order: (i + 1) * 10,
+			Run: func(seed int64) (*atlarge.Report, error) {
+				rep := atlarge.NewReport(id, "synthetic "+id)
+				rep.AddMetric(atlarge.Metric{Name: "value", Value: float64(seed % 1000)})
+				return rep, nil
+			},
+		})
+	}
+	return reg
+}
+
+// loadSpec is the sweep every job submits (with a per-job seed, so each
+// submission is distinct work and dedup stays out of the job tally).
+const loadSpec = `{"version": 2, "name": "serve-load", "domain": "sched",
+	"policy": "sjf", "workload": {"class": "syn", "jobs": 8},
+	"cluster": {"machines": 2},
+	"sweep": {"policy": ["sjf", "fcfs"]}}`
+
+// tasksPerJob = 2 sweep cells x 2 replicas.
+const tasksPerJob = 4
+
+// tally is the client-side ledger the final /metrics scrape must reconcile
+// against.
+type tally struct {
+	mu           sync.Mutex
+	runAttempts  int // every GET /v1/run issued, any status
+	runOK        int // ... of which 200
+	runRetries   int // ... of which 429
+	jobPosts     int // every POST /v1/jobs issued, any status
+	jobsAccepted int // ... of which 202 (created) or 200 (deduped)
+	jobsDone     int // jobs that reached state done with a 200 result
+	latencies    []time.Duration
+}
+
+func run(clients, rounds, jobsPer int, p99Bound time.Duration, rate float64, queueDepth, parallel int) error {
+	srv := api.New(api.Config{
+		Registry:    syntheticRegistry(),
+		Parallelism: parallel,
+		Rate:        rate,
+		QueueDepth:  queueDepth,
+		MaxJobs:     clients,
+		// Keep every job observable for the final reconciliation.
+		KeepJobs: clients*jobsPer + 8,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv) }()
+	base := "http://" + ln.Addr().String()
+
+	var (
+		tal  tally
+		wg   sync.WaitGroup
+		errs = make(chan error, clients)
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := client(base, c, rounds, jobsPer, &tal); err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// Audit 1: zero dropped jobs — every accepted job served a result.
+	if tal.jobsDone != clients*jobsPer {
+		return fmt.Errorf("dropped jobs: %d submitted, %d reached done with a result", clients*jobsPer, tal.jobsDone)
+	}
+
+	// Audit 2: client-observed p99 on /v1/run.
+	sort.Slice(tal.latencies, func(i, j int) bool { return tal.latencies[i] < tal.latencies[j] })
+	p99 := tal.latencies[len(tal.latencies)*99/100]
+	if p99 > p99Bound {
+		return fmt.Errorf("/v1/run p99 = %v, bound %v", p99, p99Bound)
+	}
+
+	// Audit 3: /metrics reconciles with the client-side tally. Scraping is
+	// itself a request, so scrape once and audit that snapshot.
+	samples, err := scrape(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	sumOverCodes := func(endpoint string) float64 {
+		total := 0.0
+		for series, v := range samples {
+			if strings.HasPrefix(series, `atlarge_http_requests_total{endpoint="`+endpoint+`"`) {
+				total += v
+			}
+		}
+		return total
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"requests_total GET /v1/run", sumOverCodes("GET /v1/run"), float64(tal.runAttempts)},
+		{"requests_total POST /v1/jobs", sumOverCodes("POST /v1/jobs"), float64(tal.jobPosts)},
+		{"latency histogram count GET /v1/run", samples[`atlarge_http_request_duration_seconds_count{endpoint="GET /v1/run"}`], float64(tal.runAttempts)},
+		{"jobs done gauge", samples[`atlarge_jobs{state="done"}`], float64(tal.jobsDone)},
+		{"jobs running gauge", samples[`atlarge_jobs{state="running"}`], 0},
+		{"queue depth drained", samples["atlarge_queue_depth"], 0},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return fmt.Errorf("metrics reconciliation: %s = %v, client tally %v", c.name, c.got, c.want)
+		}
+	}
+	if got, want := samples["atlarge_tasks_completed_total"], float64(tal.jobsDone*tasksPerJob); got < want {
+		return fmt.Errorf("metrics reconciliation: tasks_completed_total = %v, want >= %v (job tasks alone)", got, want)
+	}
+	if ratio := samples["atlarge_cache_hit_ratio"]; ratio < 0 || ratio > 1 {
+		return fmt.Errorf("cache_hit_ratio = %v out of [0, 1]", ratio)
+	}
+
+	fmt.Printf("serve-load: OK — %d clients, %d/%d run queries OK (%d rate-limited retries), %d jobs done, p99 %v (bound %v), cache hit ratio %.2f\n",
+		clients, tal.runOK, tal.runAttempts, tal.runRetries, tal.jobsDone, p99.Round(time.Microsecond), p99Bound,
+		samples["atlarge_cache_hit_ratio"])
+	return nil
+}
+
+// client drives one worker's share of the mixed load.
+func client(base string, id, rounds, jobsPer int, tal *tally) error {
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	name := fmt.Sprintf("load-client-%d", id)
+	do := func(method, url, body string) (*http.Response, error) {
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("X-Atlarge-Client", name)
+		return httpc.Do(req)
+	}
+
+	// Phase 1: submit this client's jobs (unique seeds, so no dedup).
+	jobIDs := make([]string, 0, jobsPer)
+	for j := 0; j < jobsPer; j++ {
+		seed := int64(id*1000 + j)
+		body := fmt.Sprintf(`{"kind": "sweep", "spec": %s, "seed": %d, "replicas": 2}`, loadSpec, seed)
+		for attempt := 0; ; attempt++ {
+			resp, err := do("POST", base+"/v1/jobs", body)
+			if err != nil {
+				return err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			tal.mu.Lock()
+			tal.jobPosts++
+			tal.mu.Unlock()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if attempt > 120 {
+					return fmt.Errorf("job submit still refused after %d attempts", attempt)
+				}
+				sleepRetryAfter(resp)
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("job submit: status %d, body %s", resp.StatusCode, raw)
+			}
+			jobID := extractJSONString(string(raw), "id")
+			if jobID == "" {
+				return fmt.Errorf("job submit: no id in %s", raw)
+			}
+			jobIDs = append(jobIDs, jobID)
+			tal.mu.Lock()
+			tal.jobsAccepted++
+			tal.mu.Unlock()
+			break
+		}
+	}
+
+	// Phase 2: the /v1/run mix — a few shared seeds (cache hits across
+	// clients) plus a per-client seed (guaranteed misses).
+	for r := 0; r < rounds; r++ {
+		seed := r % 4
+		if r%5 == 4 {
+			seed = 1000 + id*100 + r
+		}
+		url := fmt.Sprintf("%s/v1/run?ids=synth-a,synth-b&seed=%d", base, seed)
+		for attempt := 0; ; attempt++ {
+			start := time.Now()
+			resp, err := do("GET", url, "")
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			tal.mu.Lock()
+			tal.runAttempts++
+			if resp.StatusCode == http.StatusOK {
+				tal.runOK++
+				tal.latencies = append(tal.latencies, elapsed)
+			} else if resp.StatusCode == http.StatusTooManyRequests {
+				tal.runRetries++
+			}
+			tal.mu.Unlock()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if attempt > 120 {
+					return fmt.Errorf("run query still refused after %d attempts", attempt)
+				}
+				sleepRetryAfter(resp)
+				continue
+			}
+			return fmt.Errorf("run query: status %d", resp.StatusCode)
+		}
+	}
+
+	// Phase 3: every job must land, and its result must serve.
+	for _, jobID := range jobIDs {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := do("GET", base+"/v1/jobs/"+jobID, "")
+			if err != nil {
+				return err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			state := extractJSONString(string(raw), "state")
+			if state == "done" {
+				break
+			}
+			if state == "failed" || state == "cancelled" {
+				return fmt.Errorf("job %s reached %s: %s", jobID, state, raw)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s stuck: %s", jobID, raw)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		resp, err := do("GET", base+"/v1/jobs/"+jobID+"/result", "")
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(raw) == 0 {
+			return fmt.Errorf("job %s result: status %d, %d bytes", jobID, resp.StatusCode, len(raw))
+		}
+		tal.mu.Lock()
+		tal.jobsDone++
+		tal.mu.Unlock()
+	}
+	return nil
+}
+
+// sleepRetryAfter honors a 429's Retry-After, capped so the harness stays
+// fast even against a strict limiter.
+func sleepRetryAfter(resp *http.Response) {
+	wait := 100 * time.Millisecond
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		wait = time.Duration(ra) * time.Second
+	}
+	if wait > 250*time.Millisecond {
+		wait = 250 * time.Millisecond
+	}
+	time.Sleep(wait)
+}
+
+// extractJSONString pulls a top-level string field out of a small JSON
+// document without committing the harness to the server's document types.
+func extractJSONString(doc, field string) string {
+	marker := `"` + field + `": "`
+	i := strings.Index(doc, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := doc[i+len(marker):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return ""
+}
+
+// scrape fetches and parses a Prometheus text exposition into a map from
+// series (name plus label block, exactly as rendered) to value.
+func scrape(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics scrape: status %d", resp.StatusCode)
+	}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics scrape: unparseable line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics scrape: bad value in %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples, sc.Err()
+}

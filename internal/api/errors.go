@@ -1,0 +1,57 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Machine-readable error codes of the v1 error envelope. Every non-2xx API
+// response carries {"error": {"code", "message", "retry_after"?}}; clients
+// branch on the code, humans read the message, and retry_after (seconds,
+// mirrored in the Retry-After header) tells throttled clients when to come
+// back.
+const (
+	errBadRequest      = "bad_request"       // malformed query, body, or spec
+	errNotFound        = "not_found"         // unknown experiment or job
+	errPayloadTooLarge = "payload_too_large" // request body over the byte cap
+	errRateLimited     = "rate_limited"      // per-client token bucket empty
+	errQueueFull       = "queue_full"        // pending-task queue over bound
+	errJobLimit        = "job_limit"         // concurrent running jobs at cap
+	errJobRunning      = "job_running"       // result fetched before done
+	errJobFailed       = "job_failed"        // job finished with an error
+	errJobCancelled    = "job_cancelled"     // job was cancelled
+	errResultEvicted   = "result_evicted"    // finished job aged out of history
+	errInternal        = "internal"          // execution failure
+)
+
+// apiError is the body of the envelope.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfter is the suggested wait in seconds before retrying; set on
+	// 429 responses and mirrored in the Retry-After header.
+	RetryAfter int `json:"retry_after,omitempty"`
+}
+
+// errorEnvelope is the canonical JSON error document.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// writeError emits the typed error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeRetryError emits the envelope with a retry hint, mirrored in the
+// Retry-After header so plain HTTP clients honour it too.
+func writeRetryError(w http.ResponseWriter, status int, code string, retryAfter int, format string, args ...any) {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, status, errorEnvelope{Error: apiError{
+		Code: code, Message: fmt.Sprintf(format, args...), RetryAfter: retryAfter,
+	}})
+}

@@ -13,11 +13,24 @@ const (
 	jobCancelled = "cancelled"
 )
 
-// job is one asynchronous sweep: POST /v1/scenario/sweep?async=1 creates it,
-// the status/result/cancel endpoints observe and steer it. Progress counters
-// stream in from the executor while the sweep runs.
+// jobKindSweep is the only job kind today: an asynchronous scenario sweep.
+// The /v1/jobs resource model is kind-extensible — the submit body names the
+// kind next to its spec — so future long-running work (trace imports,
+// distributed runs) slots in without new routes.
+const jobKindSweep = "sweep"
+
+// jobStates enumerates the valid states for the /v1/jobs?state= filter.
+var jobStates = []string{jobRunning, jobDone, jobFailed, jobCancelled}
+
+// job is one asynchronous unit of work: POST /v1/jobs creates it (or dedups
+// onto an existing one — the ID is the content hash of spec+seed+replicas),
+// the status/result/cancel endpoints observe and steer it, and with a state
+// directory configured it survives server restarts. Progress counters
+// stream in from the executor while the job runs.
 type job struct {
 	id     string
+	kind   string
+	name   string // the spec's name, for humans listing jobs
 	cancel context.CancelFunc
 
 	mu     sync.Mutex
@@ -66,7 +79,8 @@ func (j *job) markCancelled() bool {
 	return running
 }
 
-// jobStatus is the status document of GET /v1/scenario/jobs/{id}.
+// jobStatus is the legacy status document of GET /v1/scenario/jobs/{id},
+// kept byte-compatible for existing clients of the deprecated alias routes.
 type jobStatus struct {
 	Job   string `json:"job"`
 	State string `json:"state"`
@@ -78,7 +92,7 @@ type jobStatus struct {
 	Error string `json:"error,omitempty"`
 }
 
-// status snapshots the job.
+// status snapshots the job in the legacy shape.
 func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -87,6 +101,33 @@ func (j *job) status() jobStatus {
 		st.Result = "/v1/scenario/jobs/" + j.id + "/result"
 	}
 	return st
+}
+
+// jobDoc is the uniform job resource of the /v1/jobs API.
+type jobDoc struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+	Links struct {
+		Self   string `json:"self"`
+		Result string `json:"result,omitempty"`
+	} `json:"links"`
+}
+
+// doc snapshots the job as a /v1/jobs resource document.
+func (j *job) doc() jobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := jobDoc{ID: j.id, Kind: j.kind, Name: j.name, State: j.state, Done: j.done, Total: j.total, Error: j.errMsg}
+	d.Links.Self = "/v1/jobs/" + j.id
+	if j.state == jobDone {
+		d.Links.Result = "/v1/jobs/" + j.id + "/result"
+	}
+	return d
 }
 
 // resultBytes returns the finished report, or false while it is not ready.

@@ -1,0 +1,91 @@
+package api
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key owns a bucket
+// holding up to burst tokens refilled at rate tokens/second, and every
+// admitted request spends one. Clients are keyed by the X-Atlarge-Client
+// header when present (so a NATed fleet can self-identify), else by the
+// remote address's host part.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the client table; on overflow, buckets idle long enough
+// to have refilled completely are dropped (they behave identically to fresh
+// ones, so eviction is invisible to those clients).
+const maxBuckets = 4096
+
+// newRateLimiter returns a limiter admitting rate requests/second per
+// client with the given burst capacity; burst < 1 defaults to
+// max(1, ceil(rate)).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket at time now. When the bucket is
+// empty it returns ok=false and the whole seconds to wait until a token is
+// available (>= 1, the Retry-After value).
+func (l *rateLimiter) allow(key string, now time.Time) (retryAfter int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= maxBuckets {
+			l.evictIdleLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := (1 - b.tokens) / l.rate
+	return int(math.Max(1, math.Ceil(wait))), false
+}
+
+// evictIdleLocked drops buckets that have fully refilled — their owners have
+// been idle at least burst/rate seconds and an evicted full bucket is
+// indistinguishable from a fresh one. Caller holds mu.
+func (l *rateLimiter) evictIdleLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+l.rate*now.Sub(b.last).Seconds() >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the requesting client for rate limiting.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Atlarge-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

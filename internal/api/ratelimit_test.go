@@ -1,0 +1,91 @@
+package api
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBucket drives one client's bucket with a fake clock.
+func TestRateLimiterBucket(t *testing.T) {
+	l := newRateLimiter(2, 2) // 2 req/s, burst 2
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if _, ok := l.allow("c", now); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	retry, ok := l.allow("c", now)
+	if ok || retry < 1 {
+		t.Fatalf("empty bucket: ok=%v retry=%d, want refusal with retry >= 1", ok, retry)
+	}
+
+	// Half a second refills one token at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if _, ok := l.allow("c", now); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if _, ok := l.allow("c", now); ok {
+		t.Fatal("second token admitted before refill")
+	}
+
+	// Other clients have their own buckets.
+	if _, ok := l.allow("d", now); !ok {
+		t.Fatal("fresh client refused")
+	}
+}
+
+// TestRateLimiterRetryAfterWholeSeconds: the wait is ceil'd to >= 1s.
+func TestRateLimiterRetryAfter(t *testing.T) {
+	l := newRateLimiter(0.5, 1) // one token per 2 s
+	now := time.Unix(2000, 0)
+	if _, ok := l.allow("c", now); !ok {
+		t.Fatal("first request refused")
+	}
+	retry, ok := l.allow("c", now)
+	if ok || retry != 2 {
+		t.Fatalf("retry = %d (ok=%v), want 2", retry, ok)
+	}
+}
+
+// TestRateLimiterBurstDefault: burst <= 0 defaults to max(1, ceil(rate)).
+func TestRateLimiterBurstDefault(t *testing.T) {
+	if l := newRateLimiter(2.5, 0); l.burst != 3 {
+		t.Errorf("burst = %v, want 3", l.burst)
+	}
+	if l := newRateLimiter(0.1, 0); l.burst != 1 {
+		t.Errorf("burst = %v, want 1", l.burst)
+	}
+}
+
+// TestRateLimiterEviction: on table overflow, idle (fully refilled) buckets
+// are dropped and the new client is still tracked.
+func TestRateLimiterEviction(t *testing.T) {
+	l := newRateLimiter(1000, 1)
+	now := time.Unix(3000, 0)
+	for i := 0; i < maxBuckets; i++ {
+		l.allow(string(rune('a'+i%26))+string(rune(i)), now)
+	}
+	// All existing buckets refill within a few ms at rate 1000.
+	now = now.Add(time.Second)
+	if _, ok := l.allow("fresh", now); !ok {
+		t.Fatal("fresh client refused after eviction")
+	}
+	if len(l.buckets) > maxBuckets {
+		t.Errorf("bucket table grew past the bound: %d", len(l.buckets))
+	}
+}
+
+// TestClientKey prefers the self-identification header over the remote host.
+func TestClientKey(t *testing.T) {
+	r, _ := http.NewRequest("GET", "/v1/run", nil)
+	r.RemoteAddr = "192.0.2.7:5511"
+	if k := clientKey(r); k != "192.0.2.7" {
+		t.Errorf("remote key = %q", k)
+	}
+	r.Header.Set("X-Atlarge-Client", "fleet-3")
+	if k := clientKey(r); k != "fleet-3" {
+		t.Errorf("header key = %q", k)
+	}
+}

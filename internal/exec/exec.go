@@ -75,6 +75,35 @@ type Cache[R any] interface {
 	Store(id string, r R)
 }
 
+// Stats aggregates live queue-depth counters, optionally shared across many
+// concurrent plan executions: the serve layer hands every plan the same
+// Stats so admission control and /metrics observe the total pending-task
+// backlog of the process, not one plan's. All methods are safe for
+// concurrent use; the zero value is ready.
+type Stats struct {
+	pending   atomic.Int64
+	running   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// Pending is the number of accepted tasks not yet settled — queued or
+// running. This is the backpressure signal: a pool that cannot drain keeps
+// Pending high.
+func (s *Stats) Pending() int64 { return s.pending.Load() }
+
+// Running is the number of tasks currently executing (not queued, cached,
+// or skipped).
+func (s *Stats) Running() int64 { return s.running.Load() }
+
+// Completed counts tasks that produced a result — live runs and cache hits —
+// monotonically across all plans sharing the Stats.
+func (s *Stats) Completed() int64 { return s.completed.Load() }
+
+// Failed counts tasks that returned an error (skips under a cancelled
+// context are neither completed nor failed).
+func (s *Stats) Failed() int64 { return s.failed.Load() }
+
 // Options tunes one plan execution.
 type Options[R any] struct {
 	// Workers bounds the pool; <= 0 means GOMAXPROCS (clamped to the plan
@@ -83,6 +112,9 @@ type Options[R any] struct {
 	// Cache, when non-nil, is consulted before each task runs and updated
 	// after each success.
 	Cache Cache[R]
+	// Stats, when non-nil, receives live queue counters: the whole plan is
+	// added to Pending up front, and every event settles one task.
+	Stats *Stats
 }
 
 // Stream executes the plan and returns the event channel. Exactly one Event
@@ -108,6 +140,9 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 		close(out)
 		return out
 	}
+	if opt.Stats != nil {
+		opt.Stats.pending.Add(int64(len(p.Tasks)))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -119,7 +154,19 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 				if i >= len(p.Tasks) {
 					return
 				}
-				out <- runTask(ctx, &p.Tasks[i], i, opt.Cache)
+				ev := runTask(ctx, &p.Tasks[i], i, opt.Cache, opt.Stats)
+				if opt.Stats != nil {
+					opt.Stats.pending.Add(-1)
+					switch {
+					case ev.Skipped:
+						// neither completed nor failed
+					case ev.Err != nil:
+						opt.Stats.failed.Add(1)
+					default:
+						opt.Stats.completed.Add(1)
+					}
+				}
+				out <- ev
 			}
 		}()
 	}
@@ -132,7 +179,7 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 
 // runTask produces the event for one task: a skip under a done context, a
 // cache hit, or a live run (stored back into the cache on success).
-func runTask[R any](ctx context.Context, t *Task[R], index int, cache Cache[R]) Event[R] {
+func runTask[R any](ctx context.Context, t *Task[R], index int, cache Cache[R], stats *Stats) Event[R] {
 	ev := Event[R]{Index: index, ID: t.ID}
 	if err := ctx.Err(); err != nil {
 		ev.Err = err
@@ -145,6 +192,10 @@ func runTask[R any](ctx context.Context, t *Task[R], index int, cache Cache[R]) 
 			ev.Cached = true
 			return ev
 		}
+	}
+	if stats != nil {
+		stats.running.Add(1)
+		defer stats.running.Add(-1)
 	}
 	start := time.Now()
 	ev.Result, ev.Err = t.Run(ctx)

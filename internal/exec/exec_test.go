@@ -260,3 +260,78 @@ func TestStreamFailedTaskNotCached(t *testing.T) {
 		t.Fatalf("retry got (%d, %v), want (7, nil)", results[0], errs[0])
 	}
 }
+
+// TestStats: the shared Stats counters track a plan through its lifecycle —
+// pending drains to zero, completions and failures split correctly, and a
+// second plan accumulates onto the same counters.
+func TestStats(t *testing.T) {
+	stats := &Stats{}
+	p := squarePlan(6)
+	p.Add("boom", func(context.Context) (int, error) { return 0, errors.New("boom") })
+	_, errs := Run(context.Background(), p, Options[int]{Workers: 3, Stats: stats})
+	failures := 0
+	for _, err := range errs {
+		if err != nil {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("errs = %v, want exactly the failing task's error", errs)
+	}
+	if got := stats.Pending(); got != 0 {
+		t.Errorf("pending = %d, want 0 after drain", got)
+	}
+	if got := stats.Running(); got != 0 {
+		t.Errorf("running = %d, want 0 after drain", got)
+	}
+	if got := stats.Completed(); got != 6 {
+		t.Errorf("completed = %d, want 6", got)
+	}
+	if got := stats.Failed(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+
+	_, errs = Run(context.Background(), squarePlan(2), Options[int]{Workers: 1, Stats: stats})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stats.Completed(); got != 8 {
+		t.Errorf("completed after second plan = %d, want 8", got)
+	}
+}
+
+// TestStatsRunningDuringExecution: the running gauge is live while tasks
+// hold the pool.
+func TestStatsRunningDuringExecution(t *testing.T) {
+	stats := &Stats{}
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	p := &Plan[int]{}
+	for i := 0; i < 2; i++ {
+		p.Add(fmt.Sprintf("hold-%d", i), func(context.Context) (int, error) {
+			started <- struct{}{}
+			<-release
+			return 0, nil
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = Run(context.Background(), p, Options[int]{Workers: 2, Stats: stats})
+	}()
+	<-started
+	<-started
+	if got := stats.Running(); got != 2 {
+		t.Errorf("running = %d, want 2 while tasks are parked", got)
+	}
+	if got := stats.Pending(); got != 2 {
+		t.Errorf("pending = %d, want 2 while tasks are parked", got)
+	}
+	close(release)
+	<-done
+	if stats.Running() != 0 || stats.Pending() != 0 {
+		t.Errorf("counters did not drain: running %d pending %d", stats.Running(), stats.Pending())
+	}
+}

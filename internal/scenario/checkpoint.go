@@ -52,10 +52,13 @@ type manifest struct {
 	Tasks    int    `json:"tasks"`
 }
 
-// runHash keys the run directory: sha256 over the spec's canonical JSON
-// (maps marshal with sorted keys, so the bytes are deterministic for a
-// given document) plus the effective seed and replica count.
-func runHash(s *Spec, seed int64, replicas int) (string, error) {
+// RunHash is the content hash identifying one (spec, seed, replicas) run:
+// sha256 over the spec's canonical JSON (maps marshal with sorted keys, so
+// the bytes are deterministic for a given document) plus the effective seed
+// and replica count. It keys the checkpoint run directory, and the serve
+// layer reuses it as the durable job ID — identical sweeps submitted by
+// concurrent clients hash to the same job.
+func RunHash(s *Spec, seed int64, replicas int) (string, error) {
 	specJSON, err := json.Marshal(s)
 	if err != nil {
 		return "", fmt.Errorf("scenario: hash spec: %w", err)
@@ -72,7 +75,7 @@ func runHash(s *Spec, seed int64, replicas int) (string, error) {
 // openCheckpoint creates (or reopens) the run directory for this
 // (spec, seed, replicas) under root and writes its manifest.
 func openCheckpoint(root string, s *Spec, seed int64, replicas, cells int) (*checkpoint, error) {
-	hash, err := runHash(s, seed, replicas)
+	hash, err := RunHash(s, seed, replicas)
 	if err != nil {
 		return nil, err
 	}

@@ -83,22 +83,22 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 // distinct run directories, so incompatible results never mix.
 func TestCheckpointHashInvalidation(t *testing.T) {
 	base := specJSON(t, validSweepSpec)
-	h1, err := runHash(base, 7, 2)
+	h1, err := RunHash(base, 7, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h2, _ := runHash(base, 8, 2); h2 == h1 {
+	if h2, _ := RunHash(base, 8, 2); h2 == h1 {
 		t.Error("seed change did not change the run hash")
 	}
-	if h2, _ := runHash(base, 7, 3); h2 == h1 {
+	if h2, _ := RunHash(base, 7, 3); h2 == h1 {
 		t.Error("replica change did not change the run hash")
 	}
 	edited := specJSON(t, validSweepSpec)
 	edited.Workload.Jobs = 13
-	if h2, _ := runHash(edited, 7, 2); h2 == h1 {
+	if h2, _ := RunHash(edited, 7, 2); h2 == h1 {
 		t.Error("spec edit did not change the run hash")
 	}
-	if h2, _ := runHash(specJSON(t, validSweepSpec), 7, 2); h2 != h1 {
+	if h2, _ := RunHash(specJSON(t, validSweepSpec), 7, 2); h2 != h1 {
 		t.Error("identical inputs produced different run hashes")
 	}
 }

@@ -39,6 +39,10 @@ type Options struct {
 	// change to a simulator, clear the directory — stored results are
 	// reused as-is.
 	Checkpoint string
+	// Stats, when non-nil, receives the executor's live queue counters;
+	// the serve layer shares one Stats across every plan it runs so its
+	// admission control and /metrics see the whole process backlog.
+	Stats *exec.Stats
 }
 
 // Run executes the concrete scenarios over the streaming work-plan executor
@@ -96,7 +100,7 @@ func Run(ctx context.Context, s *Spec, cells []Scenario, opt Options) (*Report, 
 		}
 	}
 
-	execOpt := exec.Options[[]MetricValue]{Workers: opt.Parallelism}
+	execOpt := exec.Options[[]MetricValue]{Workers: opt.Parallelism, Stats: opt.Stats}
 	var ckpt *checkpoint
 	if opt.Checkpoint != "" {
 		ckpt, err = openCheckpoint(opt.Checkpoint, s, seed, replicas, len(cells))

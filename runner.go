@@ -34,6 +34,9 @@ type Runner struct {
 	// (experiment, replica) task ("tab9#2"). Calls arrive sequentially from
 	// the collecting goroutine, in completion order.
 	Progress func(done, total int, id string)
+	// Stats, when non-nil, receives the executor's live queue counters
+	// (shared across runs by the serve layer for backpressure and metrics).
+	Stats *exec.Stats
 }
 
 // Result is the outcome of one experiment under the Runner.
@@ -132,7 +135,7 @@ func (r *Runner) RunContext(ctx context.Context, ids []string, baseSeed int64) (
 		}
 	}
 
-	events := exec.Stream(ctx, plan, exec.Options[*Report]{Workers: r.Parallelism})
+	events := exec.Stream(ctx, plan, exec.Options[*Report]{Workers: r.Parallelism, Stats: r.Stats})
 	elapsed := make([]time.Duration, plan.Len())
 	done := 0
 	reports, errs := exec.Collect(events, plan.Len(), func(ev exec.Event[*Report]) {
