@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke serve-load serve-restart-smoke sweep-resume-smoke clean
+.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke serve-load serve-restart-smoke sweep-resume-smoke trace-smoke clean
 
 all: build lint test
 
@@ -200,6 +200,23 @@ sweep-resume-smoke:
 	"$$tmp/atlarge" scenario sweep "$$tmp/spec.json" --parallel 8 --format json --checkpoint "$$tmp/ckpt" > "$$tmp/resumed.json"; \
 	cmp "$$tmp/resumed.json" "$$tmp/uninterrupted.json"; \
 	echo "sweep-resume-smoke: OK (resumed report byte-identical to uninterrupted run)"
+
+# End-to-end smoke of `atlarge trace`: trace one cell of the committed
+# example sweep twice, check the Chrome trace-event artifact is well-formed
+# (Perfetto-loadable, monotone per-track timestamps) via the built-in
+# validator, and byte-compare both runs — traces must be deterministic in
+# their virtual-time fields.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/atlarge" ./cmd/atlarge; \
+	"$$tmp/atlarge" trace --spec examples/scenarios/policy-vs-load.json \
+		--cell "policy-vs-load/load=0.7,policy=sjf" --dir "$$tmp/t1" > /dev/null; \
+	"$$tmp/atlarge" trace --spec examples/scenarios/policy-vs-load.json \
+		--cell "policy-vs-load/load=0.7,policy=sjf" --dir "$$tmp/t2" > /dev/null; \
+	"$$tmp/atlarge" trace --validate "$$tmp/t1/trace.json" > /dev/null; \
+	cmp "$$tmp/t1/trace.ndjson" "$$tmp/t2/trace.ndjson"; \
+	cmp "$$tmp/t1/trace.json" "$$tmp/t2/trace.json"; \
+	echo "trace-smoke: OK (Chrome trace valid, both runs byte-identical)"
 
 clean:
 	$(GO) clean ./...

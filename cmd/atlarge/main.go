@@ -4,11 +4,14 @@
 // Usage:
 //
 //	atlarge list [-tag T] [--domains] [--format text|json]
-//	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json] [--progress] [--timeout D]
-//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N] [--rate R] [--burst B] [--queue-depth Q] [--max-jobs J] [--state-dir DIR]
+//	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json] [--progress] [--timeout D] [--trace-dir DIR] [--trace-wall]
+//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N] [--rate R] [--burst B] [--queue-depth Q] [--max-jobs J] [--state-dir DIR] [--pprof] [--kernel-profile]
+//	atlarge trace <experiment-id> [--seed N] [--dir DIR] [--wall] [--events N]
+//	atlarge trace --spec <spec.json> [--cell ID] [--seed N] [--dir DIR] [--wall] [--events N]
+//	atlarge trace --validate <trace.json>
 //	atlarge scenario validate <spec.json> [--domain D]
 //	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D]
-//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [--checkpoint DIR]
+//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [--checkpoint DIR] [--trace-dir DIR] [--trace-wall]
 //
 // Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
 //
@@ -39,6 +42,17 @@
 // is that deep. /v1/scenario/jobs/* remains as a deprecated alias of
 // /v1/jobs.
 //
+// trace runs one experiment or one scenario cell sequentially with the
+// kernel tracer and executor task spans attached, writes the capture as
+// NDJSON (trace.ndjson) and Chrome trace-event JSON (trace.json, loadable in
+// ui.perfetto.dev), and prints the per-event-name profile. Virtual-time
+// fields are deterministic — two traced runs of the same target and seed
+// produce byte-identical files; --wall opts into the nondeterministic
+// wall-clock fields (handler ns, worker spans). The same capture rides along
+// full runs via --trace-dir on `run` and `scenario sweep`, where traces stay
+// byte-identical at any --parallel. `trace --validate FILE` checks an
+// existing Chrome trace file (well-formed, monotone per-track timestamps).
+//
 // scenario sweep --checkpoint DIR persists every completed (cell, replica)
 // result under DIR as it finishes and resumes from there on a rerun: an
 // interrupted sweep (Ctrl-C, --timeout, a crash) picks up where it stopped
@@ -64,6 +78,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"slices"
 	"strings"
@@ -71,6 +86,8 @@ import (
 
 	"atlarge"
 	"atlarge/internal/api"
+	"atlarge/internal/exec"
+	"atlarge/internal/obs"
 	"atlarge/internal/scenario"
 )
 
@@ -154,16 +171,20 @@ func runTo(w io.Writer, args []string) error {
 		return nil
 	case "scenario":
 		return runScenario(w, args[1:])
+	case "trace":
+		return runTrace(w, args[1:])
 	case "run":
 		fs := newFlagSet("run")
 		var (
-			all      = fs.Bool("all", false, "run the full experiment catalog")
-			seed     = fs.Int64("seed", 42, "base seed for per-experiment seed derivation")
-			parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
-			replicas = fs.Int("replicas", 1, "replicas per experiment, aggregated as mean±95% CI")
-			format   = fs.String("format", "text", "output format: text or json")
-			progress = fs.Bool("progress", false, "live task-completion line on stderr")
-			timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+			all       = fs.Bool("all", false, "run the full experiment catalog")
+			seed      = fs.Int64("seed", 42, "base seed for per-experiment seed derivation")
+			parallel  = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+			replicas  = fs.Int("replicas", 1, "replicas per experiment, aggregated as mean±95% CI")
+			format    = fs.String("format", "text", "output format: text or json")
+			progress  = fs.Bool("progress", false, "live task ticker on stderr: completions, tasks/sec, queue depth")
+			timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+			traceDir  = fs.String("trace-dir", "", "capture kernel traces and task spans, written as trace.ndjson + trace.json under DIR")
+			traceWall = fs.Bool("trace-wall", false, "include nondeterministic wall-clock fields in the captured trace")
 		)
 		ids, err := parseInterleaved(fs, args[1:])
 		if err != nil {
@@ -187,7 +208,18 @@ func runTo(w io.Writer, args []string) error {
 		defer cancel()
 		runner := &atlarge.Runner{Parallelism: *parallel, Replicas: *replicas}
 		if *progress {
-			runner.Progress = progressLine(os.Stderr, "run")
+			stats := &exec.Stats{}
+			runner.Stats = stats
+			runner.Progress = progressLine(os.Stderr, "run", stats)
+		}
+		var col *obs.Collector
+		var spans *obs.SpanLog
+		if *traceDir != "" {
+			col = &obs.Collector{}
+			restore := col.Install()
+			defer restore()
+			spans = &obs.SpanLog{}
+			runner.SpanObserver = spans.Observe
 		}
 		results, err := runner.RunContext(ctx, ids, *seed)
 		if err != nil {
@@ -197,6 +229,18 @@ func runTo(w io.Writer, args []string) error {
 				return fmt.Errorf("run aborted after --timeout %v: %w", *timeout, err)
 			}
 			return err
+		}
+		if col != nil {
+			tr := &obs.Trace{
+				Target:   "run",
+				Seed:     *seed,
+				Sections: col.Sections(taskSeedMap(*seed, ids, *replicas)),
+				Spans:    spans.Sorted(),
+				Wall:     *traceWall,
+			}
+			if err := writeTraceFiles(os.Stderr, tr, *traceDir); err != nil {
+				return err
+			}
 		}
 		if *format == "json" {
 			return atlarge.NewRunDocument(*seed, results).WriteJSON(w)
@@ -226,18 +270,21 @@ func runTo(w io.Writer, args []string) error {
 			queueDepth = fs.Int("queue-depth", 0, "pending-task bound before submissions get 429 + Retry-After (0 = 4096)")
 			maxJobs    = fs.Int("max-jobs", 0, "concurrently running async jobs (0 = 4)")
 			stateDir   = fs.String("state-dir", "", "directory for durable job state; jobs survive restarts and resume from checkpoints")
+			pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; off the API mux and its metrics)")
+			kprofile   = fs.Bool("kernel-profile", false, "aggregate per-event-name kernel profiles and export them on /metrics (adds per-event tracing cost)")
 		)
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
 		srv := api.New(api.Config{
-			Parallelism: *parallel,
-			CacheSize:   *cache,
-			Rate:        *rate,
-			Burst:       *burst,
-			QueueDepth:  *queueDepth,
-			MaxJobs:     *maxJobs,
-			StateDir:    *stateDir,
+			Parallelism:   *parallel,
+			CacheSize:     *cache,
+			Rate:          *rate,
+			Burst:         *burst,
+			QueueDepth:    *queueDepth,
+			MaxJobs:       *maxJobs,
+			StateDir:      *stateDir,
+			KernelProfile: *kprofile,
 		})
 		if *stateDir != "" {
 			resumed, restored, err := srv.RecoverJobs()
@@ -252,10 +299,24 @@ func runTo(w io.Writer, args []string) error {
 		if err != nil {
 			return err
 		}
+		// pprof mounts on a wrapper mux, not the API server's own mux, so
+		// profiling endpoints never join the public route-pattern metrics
+		// table and stay impossible to reach unless --pprof was given.
+		var handler http.Handler = srv
+		if *pprofOn {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", netpprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+			mux.Handle("/", srv)
+			handler = mux
+		}
 		// The listen line goes out before blocking so scripts (and `make
 		// serve-smoke`) can scrape the bound port even with --addr :0.
 		fmt.Fprintf(w, "serving Results API v2 on http://%s\n", ln.Addr())
-		return http.Serve(ln, srv)
+		return http.Serve(ln, handler)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -306,9 +367,20 @@ func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {
 
 // progressLine renders a live single-line task ticker: carriage-return
 // overdraw while tasks stream in, newline-terminated when the plan drains.
-func progressLine(w io.Writer, label string) func(done, total int, id string) {
+// With a non-nil stats it also reports the live completion rate and the
+// executor's pending-task queue depth.
+func progressLine(w io.Writer, label string, stats *exec.Stats) func(done, total int, id string) {
+	start := time.Now()
 	return func(done, total int, id string) {
-		fmt.Fprintf(w, "\r%-79s", fmt.Sprintf("%s: %d/%d %s", label, done, total, id))
+		line := fmt.Sprintf("%s: %d/%d", label, done, total)
+		if stats != nil {
+			if el := time.Since(start).Seconds(); el > 0 {
+				line += fmt.Sprintf(" %.1f/s", float64(stats.Completed())/el)
+			}
+			line += fmt.Sprintf(" queue %d", stats.Pending())
+		}
+		line += " " + id
+		fmt.Fprintf(w, "\r%-79s", line)
 		if done == total {
 			fmt.Fprintln(w)
 		}
@@ -317,7 +389,7 @@ func progressLine(w io.Writer, label string) func(done, total int, id string) {
 
 // runScenario dispatches the scenario subcommands: validate, run, sweep.
 func runScenario(w io.Writer, args []string) error {
-	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [sweep: --checkpoint DIR]"
+	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [sweep: --checkpoint DIR --trace-dir DIR --trace-wall]"
 	if len(args) == 0 {
 		return fmt.Errorf("%s", usage)
 	}
@@ -332,9 +404,11 @@ func runScenario(w io.Writer, args []string) error {
 		parallel   = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		replicas   = fs.Int("replicas", 0, "replicas per scenario (default: the spec's replicas)")
 		format     = fs.String("format", "text", "output format: text, json, or csv")
-		progress   = fs.Bool("progress", false, "live task-completion line on stderr")
+		progress   = fs.Bool("progress", false, "live task ticker on stderr: completions, tasks/sec, queue depth")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		checkpoint = fs.String("checkpoint", "", "sweep only: persist completed (cell, replica) results under this directory and resume from them")
+		traceDir   = fs.String("trace-dir", "", "sweep only: capture kernel traces and task spans, written as trace.ndjson + trace.json under DIR")
+		traceWall  = fs.Bool("trace-wall", false, "include nondeterministic wall-clock fields in the captured trace")
 	)
 	paths, err := parseInterleaved(fs, args[1:])
 	if err != nil {
@@ -354,6 +428,9 @@ func runScenario(w io.Writer, args []string) error {
 	}
 	if *checkpoint != "" && sub != "sweep" {
 		return fmt.Errorf("--checkpoint applies to 'scenario sweep' only")
+	}
+	if *traceDir != "" && sub != "sweep" {
+		return fmt.Errorf("--trace-dir applies to 'scenario sweep' only")
 	}
 
 	spec, err := scenario.Load(paths[0])
@@ -399,7 +476,18 @@ func runScenario(w io.Writer, args []string) error {
 			opt.Seed = seed
 		}
 		if *progress {
-			opt.Progress = progressLine(os.Stderr, "scenario "+sub)
+			stats := &exec.Stats{}
+			opt.Stats = stats
+			opt.Progress = progressLine(os.Stderr, "scenario "+sub, stats)
+		}
+		var col *obs.Collector
+		var spans *obs.SpanLog
+		if *traceDir != "" {
+			col = &obs.Collector{}
+			restore := col.Install()
+			defer restore()
+			spans = &obs.SpanLog{}
+			opt.SpanObserver = spans.Observe
 		}
 		ctx, cancel := withTimeout(*timeout)
 		defer cancel()
@@ -409,6 +497,33 @@ func runScenario(w io.Writer, args []string) error {
 				return fmt.Errorf("scenario %s aborted after --timeout %v: %w", sub, *timeout, err)
 			}
 			return err
+		}
+		if col != nil {
+			effReplicas := *replicas
+			if effReplicas <= 0 {
+				effReplicas = spec.Replicas
+			}
+			if effReplicas <= 0 {
+				effReplicas = 1
+			}
+			effSeed := spec.Seed
+			if seedSet {
+				effSeed = *seed
+			}
+			ids := make([]string, len(cells))
+			for i := range cells {
+				ids[i] = cells[i].ID()
+			}
+			tr := &obs.Trace{
+				Target:   spec.Name,
+				Seed:     effSeed,
+				Sections: col.Sections(taskSeedMap(effSeed, ids, effReplicas)),
+				Spans:    spans.Sorted(),
+				Wall:     *traceWall,
+			}
+			if err := writeTraceFiles(os.Stderr, tr, *traceDir); err != nil {
+				return err
+			}
 		}
 		switch *format {
 		case "json":

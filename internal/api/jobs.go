@@ -2,7 +2,10 @@ package api
 
 import (
 	"context"
+	"sort"
 	"sync"
+
+	"atlarge/internal/exec"
 )
 
 // Job states.
@@ -39,6 +42,119 @@ type job struct {
 	total  int
 	result []byte // final report JSON, byte-identical to the sync response
 	errMsg string
+	spans  jobSpans // incremental span aggregates for /v1/jobs/{id}/profile
+}
+
+// jobSpans aggregates the executor task spans of one job incrementally —
+// sums, maxima, and per-worker busy time only, so memory stays constant no
+// matter how many tasks the job runs. Guarded by the owning job's mu.
+type jobSpans struct {
+	tasks   int
+	cached  int
+	failed  int
+	waitNs  int64
+	runNs   int64
+	waitMax int64
+	runMax  int64
+	workers map[int]*workerSpan
+}
+
+// workerSpan is one pool worker's share of a job's execution.
+type workerSpan struct {
+	tasks  int
+	busyNs int64
+}
+
+// observeSpan folds one task span into the job's aggregates; it has the
+// SpanObserver signature.
+func (j *job) observeSpan(_ int, _ string, span exec.TaskSpan, err error) {
+	wait := int64(span.Start - span.Wait)
+	run := int64(span.End - span.Start)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := &j.spans
+	s.tasks++
+	if span.Cached {
+		s.cached++
+	}
+	if err != nil {
+		s.failed++
+	}
+	s.waitNs += wait
+	s.runNs += run
+	if wait > s.waitMax {
+		s.waitMax = wait
+	}
+	if run > s.runMax {
+		s.runMax = run
+	}
+	if s.workers == nil {
+		s.workers = make(map[int]*workerSpan)
+	}
+	ws := s.workers[span.Worker]
+	if ws == nil {
+		ws = &workerSpan{}
+		s.workers[span.Worker] = ws
+	}
+	ws.tasks++
+	ws.busyNs += run
+}
+
+// jobProfileDoc is the span summary of GET /v1/jobs/{id}/profile. All
+// durations are milliseconds of wall-clock time.
+type jobProfileDoc struct {
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Tasks struct {
+		Observed int `json:"observed"`
+		Cached   int `json:"cached"`
+		Failed   int `json:"failed"`
+	} `json:"tasks"`
+	QueueWaitMs struct {
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"queue_wait_ms"`
+	RunMs struct {
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"run_ms"`
+	Workers []workerProfileDoc `json:"workers,omitempty"`
+}
+
+// workerProfileDoc is one worker's row in the profile document.
+type workerProfileDoc struct {
+	Worker int     `json:"worker"`
+	Tasks  int     `json:"tasks"`
+	BusyMs float64 `json:"busy_ms"`
+}
+
+// profileDoc snapshots the job's span aggregates.
+func (j *job) profileDoc() jobProfileDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := &j.spans
+	d := jobProfileDoc{Job: j.id, State: j.state}
+	d.Tasks.Observed = s.tasks
+	d.Tasks.Cached = s.cached
+	d.Tasks.Failed = s.failed
+	if s.tasks > 0 {
+		d.QueueWaitMs.Mean = float64(s.waitNs) / float64(s.tasks) / 1e6
+		d.RunMs.Mean = float64(s.runNs) / float64(s.tasks) / 1e6
+	}
+	d.QueueWaitMs.Max = float64(s.waitMax) / 1e6
+	d.RunMs.Max = float64(s.runMax) / 1e6
+	ids := make([]int, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ws := s.workers[id]
+		d.Workers = append(d.Workers, workerProfileDoc{
+			Worker: id, Tasks: ws.tasks, BusyMs: float64(ws.busyNs) / 1e6,
+		})
+	}
+	return d
 }
 
 // progress records one streamed task completion.

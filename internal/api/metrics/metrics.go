@@ -229,6 +229,45 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return v
 }
 
+// Sample is one labeled observation produced by a snapshot callback.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// snapshotFunc registers a labeled family whose complete series set is
+// produced by a callback at scrape time. It serves families whose label
+// values are not known at registration (e.g. per-event-name kernel
+// aggregates): the callback returns every current series, and the renderer
+// sorts them by label values so the output stays deterministic.
+func (r *Registry) snapshotFunc(name, help, typ string, labels []string, fn func() []Sample) {
+	r.add(name, help, typ, func(w io.Writer, name string) {
+		samples := append([]Sample(nil), fn()...) // sort a copy, not the source's slice
+		sort.Slice(samples, func(i, j int) bool {
+			return strings.Join(samples[i].Labels, "\x00") < strings.Join(samples[j].Labels, "\x00")
+		})
+		for _, s := range samples {
+			if len(s.Labels) != len(labels) {
+				panic("metrics: label arity mismatch in snapshot for " + name)
+			}
+			fmt.Fprintf(w, "%s%s %s\n", name, labelPairs(labels, s.Labels), formatFloat(s.Value))
+		}
+	})
+}
+
+// CounterSnapshotFunc registers a labeled counter family rendered from a
+// snapshot callback at scrape time (see snapshotFunc). The callback must
+// return monotonically non-decreasing values per label tuple.
+func (r *Registry) CounterSnapshotFunc(name, help string, labels []string, fn func() []Sample) {
+	r.snapshotFunc(name, help, "counter", labels, fn)
+}
+
+// GaugeSnapshotFunc registers a labeled gauge family rendered from a
+// snapshot callback at scrape time (see snapshotFunc).
+func (r *Registry) GaugeSnapshotFunc(name, help string, labels []string, fn func() []Sample) {
+	r.snapshotFunc(name, help, "gauge", labels, fn)
+}
+
 // DefBuckets are latency histogram bounds in seconds, spanning sub-ms cache
 // hits through multi-second simulations.
 var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}

@@ -132,3 +132,48 @@ func TestGaugeVecCallbacks(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotFunc: snapshot families re-enumerate their series at scrape
+// time, render them sorted by label values, and enforce label arity.
+func TestSnapshotFunc(t *testing.T) {
+	r := New()
+	samples := []Sample{
+		{Labels: []string{"tick"}, Value: 3},
+		{Labels: []string{"arrive"}, Value: 7},
+	}
+	r.CounterSnapshotFunc("events_total", "Events by name.", []string{"event"},
+		func() []Sample { return samples })
+	r.GaugeSnapshotFunc("event_rate", "Event rate by name.", []string{"event"},
+		func() []Sample { return samples[:1] })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE events_total counter",
+		`events_total{event="arrive"} 7`,
+		`events_total{event="tick"} 3`,
+		"# TYPE event_rate gauge",
+		`event_rate{event="tick"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `event="arrive"`) > strings.Index(out, `events_total{event="tick"}`) {
+		t.Error("snapshot series not sorted by label value")
+	}
+
+	// A new series appears on the next scrape without re-registration.
+	samples = append(samples, Sample{Labels: []string{"depart"}, Value: 1})
+	if !strings.Contains(render(t, r), `events_total{event="depart"} 1`) {
+		t.Error("new series missing after source grew")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("label arity mismatch did not panic")
+		}
+	}()
+	r.CounterSnapshotFunc("bad_total", "Bad arity.", []string{"a", "b"},
+		func() []Sample { return []Sample{{Labels: []string{"only-one"}, Value: 1}} })
+	render(t, r)
+}

@@ -1,0 +1,106 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"atlarge/internal/sim"
+)
+
+// TestJobProfileEndpoint: a finished job's /profile reports the span
+// aggregates its tasks produced — counts, wait/run summaries, and the
+// per-worker breakdown.
+func TestJobProfileEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Parallelism: 2}))
+	defer srv.Close()
+
+	status, doc, raw := postJob(t, srv.URL, jobBody(11))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", status, raw)
+	}
+	waitJobDone(t, srv.URL, doc.ID)
+
+	resp, body := get(t, srv.URL+"/v1/jobs/"+doc.ID+"/profile")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: status %d, body %s", resp.StatusCode, body)
+	}
+	var prof jobProfileDoc
+	if err := json.Unmarshal([]byte(body), &prof); err != nil {
+		t.Fatalf("bad profile doc %s: %v", body, err)
+	}
+	if prof.Job != doc.ID || prof.State != jobDone {
+		t.Errorf("profile identity = %q/%q", prof.Job, prof.State)
+	}
+	// 2 cells × 2 replicas, all live runs on a fresh server.
+	if prof.Tasks.Observed != 4 || prof.Tasks.Failed != 0 {
+		t.Errorf("tasks = %+v, want 4 observed, 0 failed", prof.Tasks)
+	}
+	if prof.RunMs.Max <= 0 || prof.RunMs.Mean <= 0 {
+		t.Errorf("run times not recorded: %+v", prof.RunMs)
+	}
+	if prof.RunMs.Max < prof.RunMs.Mean {
+		t.Errorf("max run %.3f below mean %.3f", prof.RunMs.Max, prof.RunMs.Mean)
+	}
+	workerTasks := 0
+	for _, ws := range prof.Workers {
+		workerTasks += ws.Tasks
+	}
+	if len(prof.Workers) == 0 || workerTasks != prof.Tasks.Observed {
+		t.Errorf("worker rows account for %d of %d tasks: %+v",
+			workerTasks, prof.Tasks.Observed, prof.Workers)
+	}
+
+	// Unknown jobs 404 like the other job routes.
+	resp, _ = get(t, srv.URL+"/v1/jobs/nope/profile")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job profile: status %d", resp.StatusCode)
+	}
+}
+
+// TestKernelMetrics: the /metrics page always carries the process-wide
+// kernel event counter and rate; with Config.KernelProfile it also breaks
+// fired events and handler wall time out per event name.
+func TestKernelMetrics(t *testing.T) {
+	defer sim.SetKernelObserver(nil)
+	srv := httptest.NewServer(New(Config{Parallelism: 2, KernelProfile: true}))
+	defer srv.Close()
+
+	status, doc, raw := postJob(t, srv.URL, jobBody(13))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", status, raw)
+	}
+	waitJobDone(t, srv.URL, doc.ID)
+
+	_, page := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE atlarge_kernel_events_total counter",
+		"# TYPE atlarge_kernel_events_per_second gauge",
+		"# TYPE atlarge_kernel_event_fired_total counter",
+		"# TYPE atlarge_kernel_event_wall_seconds_total counter",
+		`atlarge_kernel_event_fired_total{event="`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "atlarge_kernel_events_total 0\n") {
+		t.Error("kernel event counter still zero after a sweep")
+	}
+}
+
+// TestKernelMetricsWithoutProfile: the per-event families stay off the page
+// unless Config.KernelProfile opted into the tracer cost.
+func TestKernelMetricsWithoutProfile(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Parallelism: 2}))
+	defer srv.Close()
+	_, page := get(t, srv.URL+"/metrics")
+	if !strings.Contains(page, "atlarge_kernel_events_total") {
+		t.Error("metrics page missing the always-on kernel event counter")
+	}
+	if strings.Contains(page, "atlarge_kernel_event_fired_total") {
+		t.Error("per-event kernel families present without KernelProfile")
+	}
+}

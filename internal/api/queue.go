@@ -36,6 +36,41 @@ type admission struct {
 
 const rateSampleMin = 250 * time.Millisecond
 
+// rateTracker smooths a monotone counter into a per-second rate with the
+// same sampling discipline as admission.taskRate: resample when the last
+// sample is at least rateSampleMin old, then blend 50/50 with the previous
+// estimate. The source func reads the counter's current value.
+type rateTracker struct {
+	source func() float64
+
+	mu         sync.Mutex
+	lastSample time.Time
+	lastCount  float64
+	perSecond  float64
+}
+
+func newRateTracker(source func() float64) *rateTracker {
+	return &rateTracker{source: source, lastSample: time.Now()}
+}
+
+// rate returns the smoothed per-second growth of the source counter.
+func (t *rateTracker) rate() float64 {
+	now := time.Now()
+	count := t.source()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if dt := now.Sub(t.lastSample).Seconds(); dt >= rateSampleMin.Seconds() {
+		inst := (count - t.lastCount) / dt
+		if t.perSecond == 0 {
+			t.perSecond = inst
+		} else {
+			t.perSecond = 0.5*t.perSecond + 0.5*inst
+		}
+		t.lastSample, t.lastCount = now, count
+	}
+	return t.perSecond
+}
+
 func newAdmission(limiter *rateLimiter, stats *exec.Stats, maxQueue int) *admission {
 	return &admission{limiter: limiter, stats: stats, maxQueue: int64(maxQueue), lastSample: time.Now()}
 }

@@ -15,7 +15,9 @@ import (
 	"atlarge"
 	"atlarge/internal/api/metrics"
 	"atlarge/internal/exec"
+	"atlarge/internal/obs"
 	"atlarge/internal/scenario"
+	"atlarge/internal/sim"
 )
 
 // maxSpecBytes bounds a job or sweep request body; real specs are a few
@@ -63,6 +65,12 @@ type Config struct {
 	// store, so a job's partial results live next to its record), and
 	// RecoverJobs resumes interrupted jobs after a restart.
 	StateDir string
+	// KernelProfile attaches a shared per-event-name profile to every
+	// simulation kernel the process creates (it installs the process-global
+	// kernel observer), surfacing per-event fire counts and handler wall
+	// time as /metrics families. Off by default: profiling adds a tracer
+	// call per kernel event.
+	KernelProfile bool
 }
 
 // runKey identifies one cached experiment result: results are cached per
@@ -83,6 +91,7 @@ type runKey struct {
 //	GET    /v1/jobs?state=                     list jobs, optionally filtered by state
 //	GET    /v1/jobs/{id}                       one job's resource document
 //	GET    /v1/jobs/{id}/result                the finished job's report (sync-identical bytes)
+//	GET    /v1/jobs/{id}/profile               the job's execution profile (span aggregates)
 //	DELETE /v1/jobs/{id}                       cancel a running job mid-plan
 //	GET    /metrics                            Prometheus text-format server metrics
 //
@@ -127,6 +136,12 @@ type Server struct {
 	mLatency     *metrics.HistogramVec
 	mCacheHits   *metrics.Counter
 	mCacheMisses *metrics.Counter
+
+	// Kernel observability: krate smooths the process-wide fired-event
+	// counter into events/second; kprof (Config.KernelProfile only)
+	// aggregates per-event-name profiles across every kernel.
+	krate *rateTracker
+	kprof *obs.SharedProfile
 }
 
 // flight is one in-progress computation of a runKey; waiters block on done.
@@ -175,6 +190,12 @@ func New(cfg Config) *Server {
 		limiter = newRateLimiter(cfg.Rate, cfg.Burst)
 	}
 	s.adm = newAdmission(limiter, s.stats, cfg.QueueDepth)
+	s.krate = newRateTracker(func() float64 { return float64(sim.GlobalEventsFired()) })
+	if cfg.KernelProfile {
+		s.kprof = obs.NewSharedProfile()
+		kprof := s.kprof
+		sim.SetKernelObserver(func(k *sim.Kernel) { k.SetTracer(kprof) })
+	}
 	if cfg.StateDir != "" {
 		store, err := newJobstore(cfg.StateDir)
 		if err != nil {
@@ -195,6 +216,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	// Deprecated aliases of the jobs resource; responses keep the legacy
@@ -245,6 +267,34 @@ func (s *Server) initMetrics() {
 	jobs := m.GaugeVec("atlarge_jobs", "Jobs in the server's table, by state.", "state")
 	for _, state := range jobStates {
 		jobs.Set(func() float64 { return float64(s.countJobs(state)) }, state)
+	}
+	m.CounterFunc("atlarge_kernel_events_total",
+		"Simulation kernel events fired process-wide, flushed once per kernel run.",
+		func() float64 { return float64(sim.GlobalEventsFired()) })
+	m.GaugeFunc("atlarge_kernel_events_per_second",
+		"Smoothed kernel event firing rate across all simulations.",
+		s.krate.rate)
+	if s.kprof != nil {
+		m.CounterSnapshotFunc("atlarge_kernel_event_fired_total",
+			"Kernel events fired, by event name (requires --kernel-profile).",
+			[]string{"event"}, func() []metrics.Sample {
+				rows := s.kprof.Rows()
+				out := make([]metrics.Sample, 0, len(rows))
+				for _, r := range rows {
+					out = append(out, metrics.Sample{Labels: []string{r.Name}, Value: float64(r.Fired)})
+				}
+				return out
+			})
+		m.CounterSnapshotFunc("atlarge_kernel_event_wall_seconds_total",
+			"Wall-clock time spent in kernel event handlers, by event name (requires --kernel-profile).",
+			[]string{"event"}, func() []metrics.Sample {
+				rows := s.kprof.Rows()
+				out := make([]metrics.Sample, 0, len(rows))
+				for _, r := range rows {
+					out = append(out, metrics.Sample{Labels: []string{r.Name}, Value: float64(r.WallNs) / 1e9})
+				}
+				return out
+			})
 	}
 }
 
@@ -812,6 +862,7 @@ func (s *Server) launchJob(w http.ResponseWriter, spec *scenario.Spec, cells []s
 func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, spec *scenario.Spec, cells []scenario.Scenario, opt scenario.Options) {
 	defer cancel()
 	opt.Progress = func(done, total int, id string) { j.progress(done, total) }
+	opt.SpanObserver = j.observeSpan
 	rep, err := scenario.Run(ctx, spec, cells, opt)
 	var result []byte
 	if err == nil {
@@ -1069,6 +1120,18 @@ func (s *Server) writeJobResult(w http.ResponseWriter, j *job) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(raw)
+}
+
+// handleJobProfile serves the job's execution profile: span aggregates
+// (queue wait, run time, per-worker busy time) collected while the job's
+// tasks stream through the executor. Available while the job is still
+// running — the aggregates are incremental — and after it settles. Jobs
+// restored from the state dir after a restart report zero observed tasks:
+// spans are wall-clock facts of one execution and are not persisted.
+func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.getJob(w, r); ok {
+		writeJSON(w, http.StatusOK, j.profileDoc())
+	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

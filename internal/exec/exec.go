@@ -63,6 +63,27 @@ type Event[R any] struct {
 	// Elapsed is the task's wall-clock run time; zero for skipped and
 	// cached tasks.
 	Elapsed time.Duration
+	// Span is the task's execution timeline, recorded only when
+	// Options.Spans is set; nil otherwise and for skipped tasks.
+	Span *TaskSpan
+}
+
+// TaskSpan is the wall-clock timeline of one task relative to the plan's
+// start (the moment Stream was called). Wait is the queue time before the
+// task was picked up; Start..End brackets the cache lookup plus run. All
+// offsets come from one monotonic epoch, so spans from different workers
+// order consistently on a shared timeline.
+type TaskSpan struct {
+	// Worker is the index (0-based) of the pool worker that settled the task.
+	Worker int
+	// Cached marks a span that was served from the cache instead of running.
+	Cached bool
+	// Wait is the offset at which the worker claimed the task.
+	Wait time.Duration
+	// Start is the offset at which execution (or the cache hit) began.
+	Start time.Duration
+	// End is the offset at which the task settled.
+	End time.Duration
 }
 
 // Cache persists completed task results across plan executions (see the
@@ -115,6 +136,9 @@ type Options[R any] struct {
 	// Stats, when non-nil, receives live queue counters: the whole plan is
 	// added to Pending up front, and every event settles one task.
 	Stats *Stats
+	// Spans, when set, records a TaskSpan on every non-skipped event. Off by
+	// default so the plain path makes no clock reads beyond Elapsed.
+	Spans bool
 }
 
 // Stream executes the plan and returns the event channel. Exactly one Event
@@ -143,18 +167,22 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 	if opt.Stats != nil {
 		opt.Stats.pending.Add(int64(len(p.Tasks)))
 	}
+	var epoch time.Time
+	if opt.Spans {
+		epoch = time.Now()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(p.Tasks) {
 					return
 				}
-				ev := runTask(ctx, &p.Tasks[i], i, opt.Cache, opt.Stats)
+				ev := runTask(ctx, &p.Tasks[i], i, worker, epoch, opt.Cache, opt.Stats)
 				if opt.Stats != nil {
 					opt.Stats.pending.Add(-1)
 					switch {
@@ -168,7 +196,7 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 				}
 				out <- ev
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -178,18 +206,29 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 }
 
 // runTask produces the event for one task: a skip under a done context, a
-// cache hit, or a live run (stored back into the cache on success).
-func runTask[R any](ctx context.Context, t *Task[R], index int, cache Cache[R], stats *Stats) Event[R] {
+// cache hit, or a live run (stored back into the cache on success). A zero
+// epoch means span recording is off.
+func runTask[R any](ctx context.Context, t *Task[R], index, worker int, epoch time.Time, cache Cache[R], stats *Stats) Event[R] {
 	ev := Event[R]{Index: index, ID: t.ID}
 	if err := ctx.Err(); err != nil {
 		ev.Err = err
 		ev.Skipped = true
 		return ev
 	}
+	var sp *TaskSpan
+	if !epoch.IsZero() {
+		sp = &TaskSpan{Worker: worker, Wait: time.Since(epoch)}
+		sp.Start = sp.Wait
+		defer func() { sp.End = time.Since(epoch) }()
+		ev.Span = sp
+	}
 	if cache != nil {
 		if r, ok := cache.Load(t.ID); ok {
 			ev.Result = r
 			ev.Cached = true
+			if sp != nil {
+				sp.Cached = true
+			}
 			return ev
 		}
 	}
@@ -198,6 +237,9 @@ func runTask[R any](ctx context.Context, t *Task[R], index int, cache Cache[R], 
 		defer stats.running.Add(-1)
 	}
 	start := time.Now()
+	if sp != nil {
+		sp.Start = time.Since(epoch)
+	}
 	ev.Result, ev.Err = t.Run(ctx)
 	ev.Elapsed = time.Since(start)
 	if ev.Err == nil && cache != nil {

@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSpansRecorded(t *testing.T) {
+	cache := newMemCache[int]()
+	cache.Store("t1", 41)
+	var p Plan[int]
+	p.Add("t0", func(context.Context) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 40, nil
+	})
+	p.Add("t1", func(context.Context) (int, error) { return 0, errors.New("cache should have served this") })
+	p.Add("t2", func(context.Context) (int, error) { return 0, errors.New("boom") })
+
+	spans := make(map[string]*TaskSpan)
+	for ev := range Stream(context.Background(), &p, Options[int]{Workers: 2, Cache: cache, Spans: true}) {
+		if ev.Span == nil {
+			t.Fatalf("task %s: no span recorded", ev.ID)
+		}
+		spans[ev.ID] = ev.Span
+	}
+
+	for id, sp := range spans {
+		if sp.Wait < 0 || sp.Start < sp.Wait || sp.End < sp.Start {
+			t.Errorf("task %s: span not ordered: %+v", id, sp)
+		}
+		if sp.Worker < 0 || sp.Worker >= 2 {
+			t.Errorf("task %s: worker %d out of pool range", id, sp.Worker)
+		}
+	}
+	if !spans["t1"].Cached {
+		t.Error("cache hit not marked on span")
+	}
+	if spans["t0"].Cached || spans["t2"].Cached {
+		t.Error("live runs marked cached")
+	}
+	if run := spans["t0"].End - spans["t0"].Start; run < time.Millisecond {
+		t.Errorf("t0 span run duration %v shorter than the task's sleep", run)
+	}
+	// A failed task still gets a complete span.
+	if spans["t2"].End == 0 {
+		t.Error("failed task span missing End")
+	}
+}
+
+func TestSpansOffByDefault(t *testing.T) {
+	var p Plan[int]
+	p.Add("t0", func(context.Context) (int, error) { return 1, nil })
+	for ev := range Stream(context.Background(), &p, Options[int]{Workers: 1}) {
+		if ev.Span != nil {
+			t.Fatal("span recorded without Options.Spans")
+		}
+	}
+}
+
+func TestSpansSkippedTask(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var p Plan[int]
+	p.Add("t0", func(context.Context) (int, error) { return 1, nil })
+	for ev := range Stream(ctx, &p, Options[int]{Workers: 1, Spans: true}) {
+		if !ev.Skipped {
+			t.Fatal("task should have been skipped under a cancelled context")
+		}
+		if ev.Span != nil {
+			t.Fatal("skipped task should carry no span")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Chrome trace-event export. The output is the JSON Object Format of the
+// trace-event spec ({"traceEvents": [...]}), which Perfetto's legacy
+// importer loads directly: open ui.perfetto.dev and drop the file in.
+//
+// Track layout:
+//
+//   - pid 1 "virtual time": one thread per traced kernel (named after the
+//     owning task), with a zero-duration complete event per kernel event
+//     fired, at ts = virtual seconds × 1e6 (so trace µs read as virtual s).
+//   - pid 2 "wall time": only with Trace.Wall — one thread per executor
+//     worker, with a complete event per task span.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"atlarge/internal/sim"
+)
+
+type chromeArgs struct {
+	Name   string `json:"name,omitempty"`
+	Index  int    `json:"index,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+}
+
+// chromeEvent is one trace-event line. Metadata events (ph "M") carry Args
+// and no timestamp; complete events (ph "X") carry Ts/Dur.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+const (
+	pidVirtual = 1
+	pidWall    = 2
+)
+
+// WriteChrome serializes the trace in Chrome trace-event JSON.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	var evs []chromeEvent
+	meta := func(pid, tid int, kind, name string) {
+		evs = append(evs, chromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: &chromeArgs{Name: name}})
+	}
+
+	meta(pidVirtual, 0, "process_name", "virtual time — "+t.Target)
+	for i, sec := range t.Sections {
+		tid := i + 1
+		label := sec.Task
+		if sec.Seq > 0 {
+			label = fmt.Sprintf("%s (kernel %d)", sec.Task, sec.Seq+1)
+		}
+		meta(pidVirtual, tid, "thread_name", label)
+		for _, r := range sec.Log.Records {
+			if r.Kind != sim.TraceFire {
+				continue
+			}
+			evs = append(evs, chromeEvent{
+				Name: r.Name, Ph: "X",
+				Ts:  float64(r.At) * 1e6, // virtual seconds shown as trace µs→s
+				Pid: pidVirtual, Tid: tid,
+			})
+		}
+	}
+
+	if t.Wall && len(t.Spans) > 0 {
+		meta(pidWall, 0, "process_name", "wall time — workers")
+		var wall []chromeEvent
+		workers := map[int]bool{}
+		for _, se := range t.Spans {
+			workers[se.Span.Worker] = true
+			wall = append(wall, chromeEvent{
+				Name: se.ID, Ph: "X",
+				Ts:   float64(se.Span.Start) / 1e3, // ns → µs
+				Dur:  float64(se.Span.End-se.Span.Start) / 1e3,
+				Pid:  pidWall,
+				Tid:  se.Span.Worker + 1,
+				Args: &chromeArgs{Index: se.Index, Cached: se.Span.Cached, Failed: se.Failed},
+			})
+		}
+		// Workers settle tasks sequentially, so sorting by (tid, ts) keeps
+		// each wall track monotone.
+		sort.SliceStable(wall, func(i, j int) bool {
+			if wall[i].Tid != wall[j].Tid {
+				return wall[i].Tid < wall[j].Tid
+			}
+			return wall[i].Ts < wall[j].Ts
+		})
+		wids := make([]int, 0, len(workers))
+		for id := range workers {
+			wids = append(wids, id)
+		}
+		sort.Ints(wids)
+		for _, id := range wids {
+			meta(pidWall, id+1, "thread_name", fmt.Sprintf("worker %d", id))
+		}
+		evs = append(evs, wall...)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: evs}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateChrome checks that r holds well-formed Chrome trace-event JSON
+// suitable for Perfetto: a traceEvents array (or a bare event array), every
+// event carrying a name and phase, and per-(pid, tid) track timestamps
+// non-decreasing.
+func ValidateChrome(r io.Reader) error {
+	var raw struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if len(raw.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no traceEvents array (or it is empty)")
+	}
+	type track struct{ pid, tid int }
+	last := map[track]float64{}
+	events := 0
+	for i, msg := range raw.TraceEvents {
+		var ev struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		}
+		if err := json.Unmarshal(msg, &ev); err != nil {
+			return fmt.Errorf("traceEvents[%d]: %w", i, err)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("traceEvents[%d]: missing name", i)
+		}
+		if ev.Ph == "" {
+			return fmt.Errorf("traceEvents[%d]: missing ph (phase)", i)
+		}
+		if ev.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		if ev.Ts == nil {
+			return fmt.Errorf("traceEvents[%d] (%s): missing ts", i, ev.Name)
+		}
+		tr := track{ev.Pid, ev.Tid}
+		if prev, ok := last[tr]; ok && *ev.Ts < prev {
+			return fmt.Errorf("traceEvents[%d] (%s): ts %.3f before %.3f on track pid=%d tid=%d",
+				i, ev.Name, *ev.Ts, prev, ev.Pid, ev.Tid)
+		}
+		last[tr] = *ev.Ts
+		events++
+	}
+	if events == 0 {
+		return fmt.Errorf("trace contains only metadata, no events")
+	}
+	return nil
+}
+
+// ValidateChromeFile is ValidateChrome over a file path.
+func ValidateChromeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ValidateChrome(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

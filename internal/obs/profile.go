@@ -1,0 +1,100 @@
+// Profile reporting: merge per-kernel aggregates across a run and render
+// them as typed report tables.
+package obs
+
+import (
+	"sort"
+
+	"atlarge"
+	"atlarge/internal/sim"
+)
+
+// MergeProfiles folds the per-kernel profiles of the sections into one set
+// of per-event-name rows, sorted by name.
+func MergeProfiles(secs []KernelSection) []sim.ProfileRow {
+	agg := map[string]*sim.EventStats{}
+	for _, sec := range secs {
+		for _, r := range sec.Profile.Rows() {
+			s, ok := agg[r.Name]
+			if !ok {
+				s = &sim.EventStats{}
+				agg[r.Name] = s
+			}
+			s.Scheduled += r.Scheduled
+			s.Fired += r.Fired
+			s.Cancelled += r.Cancelled
+			s.WallNs += r.WallNs
+			if r.WallMaxNs > s.WallMaxNs {
+				s.WallMaxNs = r.WallMaxNs
+			}
+		}
+	}
+	rows := make([]sim.ProfileRow, 0, len(agg))
+	for name, s := range agg {
+		rows = append(rows, sim.ProfileRow{Name: name, EventStats: *s})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// MergeStreams folds the per-kernel RNG stream access counts, sorted by
+// stream name.
+func MergeStreams(secs []KernelSection) []sim.StreamRow {
+	agg := map[string]uint64{}
+	for _, sec := range secs {
+		for _, r := range sec.Profile.Streams() {
+			agg[r.Stream] += r.Accesses
+		}
+	}
+	rows := make([]sim.StreamRow, 0, len(agg))
+	for name, n := range agg {
+		rows = append(rows, sim.StreamRow{Stream: name, Accesses: n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Stream < rows[j].Stream })
+	return rows
+}
+
+// ProfileTable renders per-event-name aggregates as a typed table. With wall
+// set it appends the (nondeterministic) handler wall-time columns.
+func ProfileTable(rows []sim.ProfileRow, wall bool) *atlarge.Table {
+	cols := []string{"event", "scheduled", "fired", "cancelled", "cancel_pct"}
+	if wall {
+		cols = append(cols, "wall_ms", "mean_us", "max_us")
+	}
+	t := &atlarge.Table{Name: "kernel events", Columns: cols}
+	for _, r := range rows {
+		cancelPct := 0.0
+		if r.Scheduled > 0 {
+			cancelPct = 100 * float64(r.Cancelled) / float64(r.Scheduled)
+		}
+		cells := []atlarge.Cell{
+			atlarge.Label(r.Name),
+			atlarge.Count(int(r.Scheduled)),
+			atlarge.Count(int(r.Fired)),
+			atlarge.Count(int(r.Cancelled)),
+			atlarge.Num(cancelPct, "%.1f"),
+		}
+		if wall {
+			mean := 0.0
+			if r.Fired > 0 {
+				mean = float64(r.WallNs) / float64(r.Fired) / 1e3
+			}
+			cells = append(cells,
+				atlarge.Num(float64(r.WallNs)/1e6, "%.3f"),
+				atlarge.Num(mean, "%.2f"),
+				atlarge.Num(float64(r.WallMaxNs)/1e3, "%.2f"),
+			)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// StreamTable renders RNG stream access counts as a typed table.
+func StreamTable(rows []sim.StreamRow) *atlarge.Table {
+	t := &atlarge.Table{Name: "rng streams", Columns: []string{"stream", "accesses"}}
+	for _, r := range rows {
+		t.AddRow(atlarge.Label(r.Stream), atlarge.Count(int(r.Accesses)))
+	}
+	return t
+}

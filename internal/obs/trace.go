@@ -1,0 +1,121 @@
+// NDJSON trace export: one JSON object per line, sectioned — a meta line,
+// then per kernel a kernel line followed by its event lines, then span lines.
+// Without Wall the output contains virtual-time fields only and is
+// byte-identical across runs and parallelism levels.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Trace is a fully attributed capture of one run, ready for export.
+type Trace struct {
+	// Target names what was traced: an experiment ID, a scenario cell ID,
+	// or a sweep name.
+	Target string
+	// Seed is the base seed of the run.
+	Seed int64
+	// Sections are the per-kernel captures in canonical order
+	// (Collector.Sections).
+	Sections []KernelSection
+	// Spans are the executor task spans in plan order (SpanLog.Sorted).
+	Spans []SpanEntry
+	// Wall includes the nondeterministic wall-clock fields: handler ns on
+	// fire events, and span timing/worker fields. Off by default so traces
+	// byte-compare across runs.
+	Wall bool
+}
+
+// NDJSON line shapes. Field order is fixed by the struct declarations, so
+// the encoding is deterministic.
+
+type metaLine struct {
+	Type    string `json:"type"` // "meta"
+	Target  string `json:"target"`
+	Seed    int64  `json:"seed"`
+	Kernels int    `json:"kernels"`
+	Spans   int    `json:"spans"`
+	Wall    bool   `json:"wall"`
+}
+
+type kernelLine struct {
+	Type    string `json:"type"` // "kernel"
+	Task    string `json:"task"`
+	Seed    int64  `json:"seed"`
+	Seq     int    `json:"seq,omitempty"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+type eventLine struct {
+	Type   string  `json:"type"` // "event"
+	Kind   string  `json:"kind"` // schedule | fire | cancel | rand
+	Name   string  `json:"name"`
+	At     float64 `json:"at"`
+	Now    float64 `json:"now"`
+	WallNs int64   `json:"wall_ns,omitempty"`
+}
+
+type spanLine struct {
+	Type   string `json:"type"` // "span"
+	Index  int    `json:"index"`
+	Task   string `json:"task"`
+	Cached bool   `json:"cached,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+	// Wall-clock fields, present only with Trace.Wall.
+	Worker  *int  `json:"worker,omitempty"`
+	WaitNs  int64 `json:"wait_ns,omitempty"`
+	StartNs int64 `json:"start_ns,omitempty"`
+	EndNs   int64 `json:"end_ns,omitempty"`
+}
+
+// WriteNDJSON serializes the trace as newline-delimited JSON.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	if err := enc.Encode(metaLine{
+		Type: "meta", Target: t.Target, Seed: t.Seed,
+		Kernels: len(t.Sections), Spans: len(t.Spans), Wall: t.Wall,
+	}); err != nil {
+		return err
+	}
+	for _, sec := range t.Sections {
+		if err := enc.Encode(kernelLine{
+			Type: "kernel", Task: sec.Task, Seed: sec.Seed, Seq: sec.Seq,
+			Events: len(sec.Log.Records), Dropped: sec.Log.Dropped,
+		}); err != nil {
+			return err
+		}
+		for _, r := range sec.Log.Records {
+			line := eventLine{
+				Type: "event", Kind: r.Kind.String(), Name: r.Name,
+				At: float64(r.At), Now: float64(r.Now),
+			}
+			if t.Wall {
+				line.WallNs = r.WallNs
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, se := range t.Spans {
+		line := spanLine{
+			Type: "span", Index: se.Index, Task: se.ID,
+			Cached: se.Span.Cached, Failed: se.Failed,
+		}
+		if t.Wall {
+			worker := se.Span.Worker
+			line.Worker = &worker
+			line.WaitNs = int64(se.Span.Wait)
+			line.StartNs = int64(se.Span.Start)
+			line.EndNs = int64(se.Span.End)
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -43,6 +43,10 @@ type Options struct {
 	// the serve layer shares one Stats across every plan it runs so its
 	// admission control and /metrics see the whole process backlog.
 	Stats *exec.Stats
+	// SpanObserver, when non-nil, turns on executor span recording and
+	// receives every non-skipped (cell, replica) task's span along with the
+	// task's error, in completion order from the collecting goroutine.
+	SpanObserver func(index int, id string, span exec.TaskSpan, err error)
 }
 
 // Run executes the concrete scenarios over the streaming work-plan executor
@@ -100,7 +104,11 @@ func Run(ctx context.Context, s *Spec, cells []Scenario, opt Options) (*Report, 
 		}
 	}
 
-	execOpt := exec.Options[[]MetricValue]{Workers: opt.Parallelism, Stats: opt.Stats}
+	execOpt := exec.Options[[]MetricValue]{
+		Workers: opt.Parallelism,
+		Stats:   opt.Stats,
+		Spans:   opt.SpanObserver != nil,
+	}
 	var ckpt *checkpoint
 	if opt.Checkpoint != "" {
 		ckpt, err = openCheckpoint(opt.Checkpoint, s, seed, replicas, len(cells))
@@ -129,6 +137,9 @@ func Run(ctx context.Context, s *Spec, cells []Scenario, opt Options) (*Report, 
 		done++
 		if opt.Progress != nil {
 			opt.Progress(done, plan.Len(), ev.ID)
+		}
+		if opt.SpanObserver != nil && ev.Span != nil {
+			opt.SpanObserver(ev.Index, ev.ID, *ev.Span, ev.Err)
 		}
 	}
 	// Interrupted means work was actually lost: the context fired AND some

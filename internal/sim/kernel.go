@@ -79,22 +79,47 @@ type Kernel struct {
 	stopped bool
 	horizon Time // 0 means no horizon
 	fired   uint64
+	flushed uint64 // portion of fired already added to globalFired
+	tracer  Tracer
 }
 
 // NewKernel returns a kernel whose RNG streams derive deterministically from
 // seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		seed:    seed,
 		streams: make(map[string]*rand.Rand),
 	}
+	if obs := kernelObserver.Load(); obs != nil {
+		(*obs)(k)
+	}
+	return k
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
+// Seed returns the seed the kernel was constructed with. Seeds derived via
+// DeriveSeed are unique per task, so tracing tools use the seed to attribute
+// a kernel back to the experiment or scenario cell that created it.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// SetTracer attaches t to the kernel (nil detaches). Only events scheduled,
+// fired, or discarded after the call are observed.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
 // EventsFired reports how many events have been executed so far.
 func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// flushFired folds events fired since the last flush into the process-wide
+// counter; called once per Run/Step return so the per-event path stays free
+// of atomics.
+func (k *Kernel) flushFired() {
+	if d := k.fired - k.flushed; d > 0 {
+		globalFired.Add(d)
+		k.flushed = k.fired
+	}
+}
 
 // Pending reports how many events are scheduled (including cancelled events
 // not yet discarded).
@@ -104,6 +129,9 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 // Distinct stream names decouple the random sequences of independent model
 // components, so adding draws to one component does not perturb another.
 func (k *Kernel) Rand(stream string) *rand.Rand {
+	if k.tracer != nil {
+		k.tracer.RandAccess(stream, k.now)
+	}
 	if r, ok := k.streams[stream]; ok {
 		return r
 	}
@@ -224,6 +252,9 @@ func (k *Kernel) At(at Time, name string, fn Handler) EventRef {
 	}
 	e := k.alloc(at, name, fn)
 	k.push(e)
+	if k.tracer != nil {
+		k.tracer.EventScheduled(name, at, k.now)
+	}
 	return EventRef{ev: e, gen: e.gen}
 }
 
@@ -244,12 +275,16 @@ func (k *Kernel) SetHorizon(t Time) { k.horizon = t }
 // explicit Stop; horizon exhaustion and queue exhaustion are normal
 // termination and return nil.
 func (k *Kernel) Run() error {
+	defer k.flushFired()
 	for len(k.queue) > 0 {
 		if k.stopped {
 			return ErrStopped
 		}
 		e := k.pop()
 		if e.dead {
+			if k.tracer != nil {
+				k.tracer.EventCancelled(e.name, e.at, k.now)
+			}
 			k.recycle(e)
 			continue
 		}
@@ -264,8 +299,18 @@ func (k *Kernel) Run() error {
 		k.now = e.at
 		k.fired++
 		fn := e.fn
+		if k.tracer == nil {
+			k.recycle(e)
+			fn(k)
+			continue
+		}
+		// Traced path: the name must outlive recycle, and only this branch
+		// pays for the clock reads.
+		name, at := e.name, e.at
 		k.recycle(e)
+		start := time.Now()
 		fn(k)
+		k.tracer.EventFired(name, at, time.Since(start))
 	}
 	if k.stopped {
 		return ErrStopped
@@ -276,9 +321,13 @@ func (k *Kernel) Run() error {
 // Step executes exactly one pending live event and reports whether one was
 // executed. It is intended for tests and debuggers.
 func (k *Kernel) Step() (bool, error) {
+	defer k.flushFired()
 	for len(k.queue) > 0 {
 		e := k.pop()
 		if e.dead {
+			if k.tracer != nil {
+				k.tracer.EventCancelled(e.name, e.at, k.now)
+			}
 			k.recycle(e)
 			continue
 		}
@@ -288,8 +337,16 @@ func (k *Kernel) Step() (bool, error) {
 		k.now = e.at
 		k.fired++
 		fn := e.fn
+		if k.tracer == nil {
+			k.recycle(e)
+			fn(k)
+			return true, nil
+		}
+		name, at := e.name, e.at
 		k.recycle(e)
+		start := time.Now()
 		fn(k)
+		k.tracer.EventFired(name, at, time.Since(start))
 		return true, nil
 	}
 	return false, nil

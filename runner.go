@@ -37,6 +37,10 @@ type Runner struct {
 	// Stats, when non-nil, receives the executor's live queue counters
 	// (shared across runs by the serve layer for backpressure and metrics).
 	Stats *exec.Stats
+	// SpanObserver, when non-nil, turns on executor span recording and
+	// receives every non-skipped task's span (see exec.TaskSpan) along with
+	// the task's error, in completion order from the collecting goroutine.
+	SpanObserver func(index int, id string, span exec.TaskSpan, err error)
 }
 
 // Result is the outcome of one experiment under the Runner.
@@ -135,7 +139,11 @@ func (r *Runner) RunContext(ctx context.Context, ids []string, baseSeed int64) (
 		}
 	}
 
-	events := exec.Stream(ctx, plan, exec.Options[*Report]{Workers: r.Parallelism, Stats: r.Stats})
+	events := exec.Stream(ctx, plan, exec.Options[*Report]{
+		Workers: r.Parallelism,
+		Stats:   r.Stats,
+		Spans:   r.SpanObserver != nil,
+	})
 	elapsed := make([]time.Duration, plan.Len())
 	done := 0
 	reports, errs := exec.Collect(events, plan.Len(), func(ev exec.Event[*Report]) {
@@ -143,6 +151,9 @@ func (r *Runner) RunContext(ctx context.Context, ids []string, baseSeed int64) (
 		done++
 		if r.Progress != nil {
 			r.Progress(done, plan.Len(), ev.ID)
+		}
+		if r.SpanObserver != nil && ev.Span != nil {
+			r.SpanObserver(ev.Index, ev.ID, *ev.Span, ev.Err)
 		}
 	})
 
