@@ -34,22 +34,23 @@ bench:
 # The gated hot-path benchmarks — the event kernel and the streaming
 # work-plan executor every runner/sweep/API request rides on — measured long
 # enough to gate on.
-BENCH_KERNEL = $(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkExecStream' -benchtime 1s ./internal/sim ./internal/exec
+BENCH_KERNEL = $(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkExecStream|BenchmarkWorldTick' -benchmem -benchtime 1s ./internal/sim ./internal/exec ./internal/mmog
 
 # Regenerate the committed perf baseline (run on the reference machine after
 # an intentional kernel change, and commit the result).
 bench-base:
 	$(BENCH_KERNEL) | $(GO) run ./cmd/bench2json -suite kernel-base > BENCH_base.json
 
-# Fail on a >20% ns/op regression of any kernel benchmark vs the committed
-# baseline. CI runs this on every push; baselines from different hardware
-# shift both sides of later comparisons together once regenerated. (A temp
-# file instead of a pipe so a failing benchmark run fails the target under
-# POSIX sh.)
+# Fail on a >20% ns/op or allocs/op regression of any kernel benchmark vs the
+# committed baseline (the allocs gate has a +2 absolute slack so near-zero
+# baselines tolerate an incidental allocation). CI runs this on every push;
+# baselines from different hardware shift both sides of later comparisons
+# together once regenerated. (A temp file instead of a pipe so a failing
+# benchmark run fails the target under POSIX sh.)
 bench-compare:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(BENCH_KERNEL) > "$$tmp"; \
-	$(GO) run ./cmd/bench2json -compare BENCH_base.json -tolerance 0.20 < "$$tmp"
+	$(GO) run ./cmd/bench2json -compare BENCH_base.json -tolerance 0.20 -allocs-tolerance 0.20 < "$$tmp"
 
 run-all:
 	$(GO) run ./cmd/atlarge run --all --parallel 4

@@ -5,13 +5,15 @@
 //
 // With -compare, it instead gates a run against a committed baseline record:
 // every benchmark present in both is checked, and any whose ns/op regressed
-// by more than -tolerance fails the command. This is the `make bench-compare`
-// guard that keeps kernel hot-path optimizations from silently eroding.
+// by more than -tolerance — or whose allocs/op regressed by more than
+// -allocs-tolerance beyond a small absolute slack — fails the command. This
+// is the `make bench-compare` guard that keeps kernel hot-path optimizations
+// (and especially zero-alloc wins) from silently eroding.
 //
 // Usage:
 //
 //	go test -bench=. -benchtime=1x ./... | bench2json -suite smoke > BENCH_smoke.json
-//	go test -bench=BenchmarkKernel ./internal/sim | bench2json -compare BENCH_base.json -tolerance 0.20
+//	go test -bench=BenchmarkKernel -benchmem ./internal/sim | bench2json -compare BENCH_base.json -tolerance 0.20
 package main
 
 import (
@@ -51,14 +53,15 @@ func main() {
 	suite := flag.String("suite", "bench", "suite label stored in the record")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against instead of emitting a record")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs the baseline")
+	allocsTol := flag.Float64("allocs-tolerance", 0.20, "allowed fractional allocs/op regression vs the baseline")
 	flag.Parse()
-	if err := run(*suite, *compare, *tolerance); err != nil {
+	if err := run(*suite, *compare, *tolerance, *allocsTol); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite, compare string, tolerance float64) error {
+func run(suite, compare string, tolerance, allocsTol float64) error {
 	out := output{Suite: suite, Benchmarks: []measurement{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -85,19 +88,28 @@ func run(suite, compare string, tolerance float64) error {
 		return err
 	}
 	if compare != "" {
-		return compareBaseline(out, compare, tolerance)
+		return compareBaseline(out, compare, tolerance, allocsTol)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
+// allocsSlack is the absolute allocs/op headroom on top of the fractional
+// allocs gate: near-zero baselines (the whole point of the zero-alloc kernel)
+// would otherwise fail on a single incidental allocation, so a regression
+// must exceed both baseline × (1 + tolerance) and baseline + allocsSlack.
+const allocsSlack = 2
+
 // compareBaseline gates the parsed run against a committed baseline: any
-// benchmark present in both whose ns/op exceeds baseline × (1 + tolerance)
-// is a regression and fails the call. Benchmarks only on one side are
-// reported but do not fail, so adding or retiring a benchmark does not
-// require touching the baseline in the same commit.
-func compareBaseline(cur output, path string, tolerance float64) error {
+// benchmark present in both whose ns/op exceeds baseline × (1 + tolerance),
+// or whose allocs/op exceeds both baseline × (1 + allocsTol) and baseline +
+// allocsSlack, is a regression and fails the call. The allocs gate only
+// applies where both records carry allocs/op (runs made with -benchmem).
+// Benchmarks only on one side are reported but do not fail, so adding or
+// retiring a benchmark does not require touching the baseline in the same
+// commit.
+func compareBaseline(cur output, path string, tolerance, allocsTol float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -128,8 +140,19 @@ func compareBaseline(cur output, path string, tolerance float64) error {
 			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
 				m.Name, b.NsPerOp, m.NsPerOp, (ratio-1)*100, tolerance*100))
 		}
-		fmt.Printf("%-9s %-40s %12.0f ns/op vs baseline %12.0f (%+.1f%%)\n",
-			verdict, m.Name, m.NsPerOp, b.NsPerOp, (ratio-1)*100)
+		allocs := " "
+		if curA, okC := m.Extra["allocs/op"]; okC {
+			if baseA, okB := b.Extra["allocs/op"]; okB {
+				allocs = fmt.Sprintf("%.0f vs %.0f allocs/op", curA, baseA)
+				if curA > baseA*(1+allocsTol) && curA > baseA+allocsSlack {
+					verdict = "REGRESSED"
+					regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f allocs/op (tolerance %.0f%% + %d)",
+						m.Name, baseA, curA, allocsTol*100, allocsSlack))
+				}
+			}
+		}
+		fmt.Printf("%-9s %-40s %12.0f ns/op vs baseline %12.0f (%+.1f%%)  %s\n",
+			verdict, m.Name, m.NsPerOp, b.NsPerOp, (ratio-1)*100, allocs)
 	}
 	for k := range baseline {
 		fmt.Printf("missing   %s (in baseline, not in this run)\n", k)

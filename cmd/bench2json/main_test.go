@@ -56,13 +56,13 @@ func TestCompareBaseline(t *testing.T) {
 		{Package: "p", Name: "BenchmarkKernelSchedule-8", Iterations: 100, NsPerOp: 1100},
 		{Package: "p", Name: "BenchmarkKernelChurn-8", Iterations: 100, NsPerOp: 400},
 	}}
-	if err := compareBaseline(cur, path, 0.20); err != nil {
+	if err := compareBaseline(cur, path, 0.20, 0.20); err != nil {
 		t.Errorf("10%% drift failed the 20%% gate: %v", err)
 	}
 
 	// A >20% regression fails and names the offender.
 	cur.Benchmarks[1].NsPerOp = 700
-	err := compareBaseline(cur, path, 0.20)
+	err := compareBaseline(cur, path, 0.20, 0.20)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkKernelChurn-8") {
 		t.Errorf("40%% regression passed the 20%% gate: %v", err)
 	}
@@ -70,13 +70,60 @@ func TestCompareBaseline(t *testing.T) {
 	// New benchmarks (absent from the baseline) do not fail the gate.
 	cur.Benchmarks[1].NsPerOp = 500
 	cur.Benchmarks = append(cur.Benchmarks, measurement{Package: "p", Name: "BenchmarkNew-8", NsPerOp: 9e9})
-	if err := compareBaseline(cur, path, 0.20); err != nil {
+	if err := compareBaseline(cur, path, 0.20, 0.20); err != nil {
 		t.Errorf("new benchmark failed the gate: %v", err)
 	}
 
 	// Nothing in common is an error (the gate would be vacuous).
 	none := output{Benchmarks: []measurement{{Package: "q", Name: "BenchmarkOther-8", NsPerOp: 1}}}
-	if err := compareBaseline(none, path, 0.20); err == nil {
+	if err := compareBaseline(none, path, 0.20, 0.20); err == nil {
 		t.Error("disjoint benchmark sets passed the gate")
+	}
+}
+
+func TestCompareBaselineAllocsGate(t *testing.T) {
+	allocs := func(n float64) map[string]float64 { return map[string]float64{"allocs/op": n} }
+	base := output{Suite: "base", Benchmarks: []measurement{
+		{Package: "p", Name: "BenchmarkZeroAlloc-8", Iterations: 100, NsPerOp: 1000, Extra: allocs(7)},
+		{Package: "p", Name: "BenchmarkBusy-8", Iterations: 100, NsPerOp: 1000, Extra: allocs(4000)},
+		{Package: "p", Name: "BenchmarkNoMem-8", Iterations: 100, NsPerOp: 1000},
+	}}
+	path := writeBaseline(t, base)
+
+	// Within the absolute slack: 7 -> 9 allocs is > 20% but <= +2, passes.
+	cur := output{Benchmarks: []measurement{
+		{Package: "p", Name: "BenchmarkZeroAlloc-8", Iterations: 100, NsPerOp: 1000, Extra: allocs(9)},
+	}}
+	if err := compareBaseline(cur, path, 0.20, 0.20); err != nil {
+		t.Errorf("+2 allocs on a near-zero baseline failed the gate: %v", err)
+	}
+
+	// Past both the fractional gate and the slack: 7 -> 10 fails.
+	cur.Benchmarks[0].Extra = allocs(10)
+	err := compareBaseline(cur, path, 0.20, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("7 -> 10 allocs passed the 20%%+2 gate: %v", err)
+	}
+
+	// Large baseline: the fractional gate governs. 4000 -> 4100 passes,
+	// 4000 -> 5000 fails.
+	cur = output{Benchmarks: []measurement{
+		{Package: "p", Name: "BenchmarkBusy-8", Iterations: 100, NsPerOp: 1000, Extra: allocs(4100)},
+	}}
+	if err := compareBaseline(cur, path, 0.20, 0.20); err != nil {
+		t.Errorf("2.5%% allocs drift failed the 20%% gate: %v", err)
+	}
+	cur.Benchmarks[0].Extra = allocs(5000)
+	if err := compareBaseline(cur, path, 0.20, 0.20); err == nil {
+		t.Error("25% allocs regression passed the 20% gate")
+	}
+
+	// A benchmark without allocs/op on either side is ns/op-gated only.
+	cur = output{Benchmarks: []measurement{
+		{Package: "p", Name: "BenchmarkNoMem-8", Iterations: 100, NsPerOp: 1000, Extra: allocs(1e9)},
+		{Package: "p", Name: "BenchmarkZeroAlloc-8", Iterations: 100, NsPerOp: 1000},
+	}}
+	if err := compareBaseline(cur, path, 0.20, 0.20); err != nil {
+		t.Errorf("benchmarks missing allocs/op on one side were allocs-gated: %v", err)
 	}
 }

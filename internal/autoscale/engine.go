@@ -186,14 +186,20 @@ func runVitro(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, e
 		return v.st, nil
 	}
 	k := sim.NewKernel(cfg.Seed)
-	// Arrivals are scheduled up front with the lowest sequence numbers, so a
-	// job submitted exactly at an evaluation instant is admitted before the
-	// autoscaler observes demand — the admission order of the historical
-	// step-driven engine.
-	for _, j := range jobs {
+	// Arrivals are batch-scheduled up front with the lowest sequence numbers
+	// (AtBatch assigns them in order), so a job submitted exactly at an
+	// evaluation instant is admitted before the autoscaler observes demand —
+	// the admission order of the historical step-driven engine.
+	arrivals := make([]sim.BatchEvent, len(jobs))
+	for i, j := range jobs {
 		j := j
-		k.At(sim.Time(j.Submit), "arrive", func(k *sim.Kernel) { v.arrive(k, j) })
+		arrivals[i] = sim.BatchEvent{
+			At: sim.Time(j.Submit), Name: "arrive",
+			Fn: func(k *sim.Kernel) { v.arrive(k, j) },
+		}
 	}
+	k.Reserve(len(arrivals) + 2)
+	k.AtBatch(arrivals)
 	v.evalRef = k.At(0, "eval", v.eval)
 	v.sampleRef = k.At(0, "sample", v.sample)
 	if err := k.Run(); err != nil {
@@ -457,10 +463,16 @@ func runSilico(cfg EngineConfig, as Autoscaler, tr *workload.Trace) (*RunStats, 
 		return s.st, nil
 	}
 	k := sim.NewKernel(cfg.Seed)
-	for _, j := range jobs {
+	arrivals := make([]sim.BatchEvent, len(jobs))
+	for i, j := range jobs {
 		j := j
-		k.At(sim.Time(j.Submit), "arrive", func(k *sim.Kernel) { s.arrive(k, j) })
+		arrivals[i] = sim.BatchEvent{
+			At: sim.Time(j.Submit), Name: "arrive",
+			Fn: func(k *sim.Kernel) { s.arrive(k, j) },
+		}
 	}
+	k.Reserve(len(arrivals) + 2)
+	k.AtBatch(arrivals)
 	s.evalRef = k.At(0, "eval", s.eval)
 	s.sampleRef = k.At(0, "sample", s.sample)
 	if err := k.Run(); err != nil {

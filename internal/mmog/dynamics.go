@@ -46,8 +46,7 @@ func (m PopulationModel) Series(days int) []float64 {
 	r := rand.New(rand.NewSource(m.Seed))
 	out := make([]float64, 0, days*24)
 	k := sim.NewKernel(m.Seed)
-	var tick sim.Handler
-	tick = func(k *sim.Kernel) {
+	tick := func(k *sim.Kernel) {
 		h := len(out)
 		day := float64(h) / 24
 		daily := 1 + m.DailyAmp*math.Sin(2*math.Pi*(float64(h%24)-14)/24) // peak ~20:00
@@ -59,12 +58,14 @@ func (m PopulationModel) Series(days int) []float64 {
 			v = 0
 		}
 		out = append(out, v)
-		if len(out) < days*24 {
-			k.After(1, "hour", tick)
-		}
 	}
 	if days*24 > 0 {
+		// The hourly ticks are batch-scheduled up front (integer times, so
+		// bit-identical to the historical self-rescheduling chain) and the
+		// queue is pre-sized to its exact lifetime size.
+		k.Reserve(days * 24)
 		k.At(0, "hour", tick)
+		k.AfterEach(1, days*24-1, "hour", tick)
 	}
 	if err := k.Run(); err != nil {
 		panic(err) // unreachable: the tick chain neither stops nor errors

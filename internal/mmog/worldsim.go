@@ -3,6 +3,7 @@ package mmog
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -57,13 +58,27 @@ type WorldSimResult struct {
 	Imbalance float64
 }
 
-// RunWorldSim executes the world on the shared simulation kernel: world
-// generation happens at setup, then every tick is a scheduled event in which
-// entities take a Gaussian step pulled back toward their nearest point of
-// interest and the partitioner's per-server loads are recorded. Movement
-// draws come from the kernel's named RNG streams, so runs are deterministic
-// per seed and independent of any other model sharing the kernel seed.
-func RunWorldSim(cfg WorldSimConfig) (*WorldSimResult, error) {
+// WorldSim is a prepared virtual-world simulation: a struct-of-arrays world,
+// a kernel, and the reusable partition scratch. Constructing once and calling
+// Tick repeatedly runs the per-tick hot path — wander, binning, pair
+// interaction — without allocating, which is what lets one kernel tick 10^6
+// entities in bounded memory.
+type WorldSim struct {
+	cfg     WorldSimConfig
+	tickSec float64
+	wander  float64
+	w       *WorldSoA
+	soa     SoAPartitioner
+	aosView *World // synchronized view for partitioners without a SoA path
+	scratch PartitionScratch
+	k       *sim.Kernel
+	move    *rand.Rand
+	ticked  int
+}
+
+// NewWorldSim validates cfg, generates the world, and prepares the kernel.
+// The world and scratch buffers are allocated here; Run and Tick reuse them.
+func NewWorldSim(cfg WorldSimConfig) (*WorldSim, error) {
 	if cfg.Servers < 1 {
 		return nil, fmt.Errorf("mmog: world sim needs >= 1 server, got %d", cfg.Servers)
 	}
@@ -73,52 +88,87 @@ func RunWorldSim(cfg WorldSimConfig) (*WorldSimResult, error) {
 	if cfg.Partitioner == nil {
 		cfg.Partitioner = AoSPartitioner{}
 	}
-	tickSec := cfg.TickSeconds
-	if tickSec <= 0 {
-		tickSec = 1
+	s := &WorldSim{cfg: cfg, tickSec: cfg.TickSeconds, wander: cfg.Wander}
+	if s.tickSec <= 0 {
+		s.tickSec = 1
 	}
-	wander := cfg.Wander
-	if wander <= 0 {
-		wander = 2
+	if s.wander <= 0 {
+		s.wander = 2
 	}
-
 	cfg.World.Seed = cfg.Seed
-	w := GenerateWorld(cfg.World)
-	res := &WorldSimResult{Entities: len(w.Entities), Servers: cfg.Servers}
-
-	k := sim.NewKernel(cfg.Seed)
-	var rec sim.Recorder
-	move := k.Rand("mmog/move")
-	clamp := func(v float64) float64 {
-		if v < 0 {
-			return 0
+	s.w = GenerateWorldSoA(cfg.World)
+	if sp, ok := cfg.Partitioner.(SoAPartitioner); ok {
+		s.soa = sp
+	} else {
+		s.aosView = &World{
+			Size:     s.w.Size,
+			Entities: make([]Entity, s.w.Len()),
+			POIs:     s.w.POIs,
 		}
-		if v >= w.Size {
-			return w.Size - 1e-9
-		}
-		return v
 	}
+	s.k = sim.NewKernel(cfg.Seed)
+	s.move = s.k.Rand("mmog/move")
+	return s, nil
+}
 
-	var tick sim.Handler
-	ticked := 0
-	tick = func(k *sim.Kernel) {
-		// Entities wander, gently pulled toward their nearest POI so battle
-		// clusters persist instead of diffusing into uniform noise.
-		for i := range w.Entities {
-			e := &w.Entities[i]
-			px, py := nearestPOI(w, e.X, e.Y)
-			e.X = clamp(e.X + move.NormFloat64()*wander + 0.02*(px-e.X))
-			e.Y = clamp(e.Y + move.NormFloat64()*wander + 0.02*(py-e.Y))
+// Kernel returns the simulation kernel, so callers can attach tracers or a
+// horizon before Run.
+func (s *WorldSim) Kernel() *sim.Kernel { return s.k }
+
+// World returns the struct-of-arrays world state.
+func (s *WorldSim) World() *WorldSoA { return s.w }
+
+// Tick advances the world one tick: every entity takes a Gaussian step
+// gently pulled back toward its nearest POI so battle clusters persist
+// instead of diffusing into uniform noise, then the partitioner splits the
+// load. It returns the hottest-server and mean per-server load. Steady-state
+// Tick is allocation-free for the built-in partitioners.
+func (s *WorldSim) Tick() (maxLoad, meanLoad float64) {
+	w := s.w
+	size := w.Size
+	for i := range w.X {
+		px, py := w.nearestPOI(w.X[i], w.Y[i])
+		x := w.X[i] + s.move.NormFloat64()*s.wander + 0.02*(px-w.X[i])
+		y := w.Y[i] + s.move.NormFloat64()*s.wander + 0.02*(py-w.Y[i])
+		if x < 0 {
+			x = 0
+		} else if x >= size {
+			x = size - 1e-9
 		}
-		loads := cfg.Partitioner.Loads(w, cfg.Servers)
-		maxL, sum := 0.0, 0.0
-		for _, l := range loads {
-			sum += l
-			if l > maxL {
-				maxL = l
-			}
+		if y < 0 {
+			y = 0
+		} else if y >= size {
+			y = size - 1e-9
 		}
-		mean := sum / float64(len(loads))
+		w.X[i] = x
+		w.Y[i] = y
+	}
+	var loads []float64
+	if s.soa != nil {
+		loads = s.soa.LoadsSoA(w, s.cfg.Servers, &s.scratch)
+	} else {
+		for i := range s.aosView.Entities {
+			s.aosView.Entities[i] = Entity{ID: i + 1, X: w.X[i], Y: w.Y[i], Actionable: w.Actionable[i]}
+		}
+		loads = s.cfg.Partitioner.Loads(s.aosView, s.cfg.Servers)
+	}
+	maxL, sum := 0.0, 0.0
+	for _, l := range loads {
+		sum += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL, sum / float64(len(loads))
+}
+
+// Run executes the configured number of ticks on the kernel and aggregates
+// the per-tick load series. Ticks are batch-scheduled up front (Reserve +
+// At + AfterEach), so the queue never grows during the run.
+func (s *WorldSim) Run() (*WorldSimResult, error) {
+	var rec sim.Recorder
+	tick := func(k *sim.Kernel) {
+		maxL, mean := s.Tick()
 		now := k.Now()
 		rec.Record("max_load", now, maxL)
 		rec.Record("mean_load", now, mean)
@@ -127,22 +177,35 @@ func RunWorldSim(cfg WorldSimConfig) (*WorldSimResult, error) {
 		} else {
 			rec.Record("imbalance", now, 1)
 		}
-		ticked++
-		if ticked < cfg.Ticks {
-			k.After(sim.Duration(tickSec), "world-tick", tick)
-		}
+		s.ticked++
 	}
-	k.At(0, "world-tick", tick)
-	if err := k.Run(); err != nil {
+	s.k.Reserve(s.cfg.Ticks)
+	s.k.At(0, "world-tick", tick)
+	s.k.AfterEach(sim.Duration(s.tickSec), s.cfg.Ticks-1, "world-tick", tick)
+	if err := s.k.Run(); err != nil {
 		return nil, fmt.Errorf("mmog: world sim: %w", err)
 	}
-
-	res.Ticks = ticked
+	res := &WorldSimResult{Entities: s.w.Len(), Servers: s.cfg.Servers}
+	res.Ticks = s.ticked
 	res.PeakLoad = maxOf(rec.Values("max_load"))
 	res.MeanMaxLoad = meanOf(rec.Values("max_load"))
 	res.MeanLoad = meanOf(rec.Values("mean_load"))
 	res.Imbalance = meanOf(rec.Values("imbalance"))
 	return res, nil
+}
+
+// RunWorldSim executes the world on the shared simulation kernel: world
+// generation happens at setup, then every tick is a scheduled event in which
+// entities take a Gaussian step pulled back toward their nearest point of
+// interest and the partitioner's per-server loads are recorded. Movement
+// draws come from the kernel's named RNG streams, so runs are deterministic
+// per seed and independent of any other model sharing the kernel seed.
+func RunWorldSim(cfg WorldSimConfig) (*WorldSimResult, error) {
+	s, err := NewWorldSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
 }
 
 // nearestPOI returns the closest point of interest to (x, y).

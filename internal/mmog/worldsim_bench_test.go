@@ -1,0 +1,28 @@
+package mmog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWorldTick measures one steady-state world tick — wander, AoS
+// binning, pair interaction, LPT assignment — at increasing entity counts.
+// The sim is built once per size; B/op reports the per-tick allocation, which
+// the SoA layout and partition scratch keep at zero, so the 10^6-entity world
+// runs in bounded memory.
+func BenchmarkWorldTick(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s, err := NewWorldSim(DefaultWorldSimConfig(n, 8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Tick() // warm the scratch buffers to their high-water mark
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Tick()
+			}
+		})
+	}
+}

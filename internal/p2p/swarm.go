@@ -156,11 +156,17 @@ func (s *Swarm) sampleClass() PeerClass {
 	return s.cfg.Classes[len(s.cfg.Classes)-1]
 }
 
-// ScheduleArrivals registers peer join events at the given times.
+// ScheduleArrivals registers peer join events at the given times. The joins
+// share one closure and enter the queue as one batch, so a large swarm's
+// arrival schedule costs one heap rebuild instead of per-peer sift-ups.
 func (s *Swarm) ScheduleArrivals(times []sim.Time) {
-	for _, at := range times {
-		s.k.At(at, "peer-join", func(k *sim.Kernel) { s.join() })
+	join := func(k *sim.Kernel) { s.join() }
+	batch := make([]sim.BatchEvent, len(times))
+	for i, at := range times {
+		batch[i] = sim.BatchEvent{At: at, Name: "peer-join", Fn: join}
 	}
+	s.k.Reserve(len(batch))
+	s.k.AtBatch(batch)
 }
 
 // join admits one peer (or one 2fast group).

@@ -110,14 +110,20 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 	}
 
+	arrivals := make([]sim.BatchEvent, 0, len(s.trace.Jobs))
 	for _, job := range s.trace.Jobs {
 		if err := job.ValidateDAG(); err != nil {
 			return nil, fmt.Errorf("sched: %w", err)
 		}
 		job := job
 		s.jobLeft[job.ID] = len(job.Tasks)
-		s.k.At(job.Submit, "job-arrive", func(k *sim.Kernel) { s.onJobArrive(job) })
+		arrivals = append(arrivals, sim.BatchEvent{
+			At: job.Submit, Name: "job-arrive",
+			Fn: func(k *sim.Kernel) { s.onJobArrive(job) },
+		})
 	}
+	s.k.Reserve(len(arrivals))
+	s.k.AtBatch(arrivals)
 	if err := s.k.Run(); err != nil {
 		return nil, fmt.Errorf("sched: run: %w", err)
 	}

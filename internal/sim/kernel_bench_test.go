@@ -65,9 +65,10 @@ func BenchmarkKernelChurn(b *testing.B) {
 func BenchmarkKernelCancel(b *testing.B) {
 	const n = 4096
 	b.ReportAllocs()
+	refs := make([]EventRef, 0, n/2)
 	for i := 0; i < b.N; i++ {
 		k := NewKernel(1)
-		refs := make([]EventRef, 0, n/2)
+		refs = refs[:0]
 		for j := 0; j < n; j++ {
 			ref := k.At(Time(j%977), "e", nop)
 			if j%2 == 1 {
@@ -76,6 +77,50 @@ func BenchmarkKernelCancel(b *testing.B) {
 		}
 		for _, r := range refs {
 			r.Cancel()
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "events/op")
+}
+
+// BenchmarkKernelScheduleBatch is BenchmarkKernelSchedule through the AtBatch
+// path: the same N pseudo-random events enter via one bottom-up heapify
+// instead of N sift-ups.
+func BenchmarkKernelScheduleBatch(b *testing.B) {
+	const n = 4096
+	batch := make([]BatchEvent, n)
+	at := uint64(0)
+	for j := 0; j < n; j++ {
+		at ^= at << 13
+		at ^= at >> 7
+		at ^= at << 17
+		at += uint64(j) + 1
+		batch[j] = BatchEvent{At: Time(at % 100000), Name: "e", Fn: nop}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		k.AtBatch(batch)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "events/op")
+}
+
+// BenchmarkKernelColdStart measures a fresh kernel with no warmup executing a
+// small event set — the cost profile of sweep tasks that construct thousands
+// of short-lived kernels, where slab growth is part of the bill.
+func BenchmarkKernelColdStart(b *testing.B) {
+	const n = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		for j := 0; j < n; j++ {
+			k.At(Time(j%17), "e", nop)
 		}
 		if err := k.Run(); err != nil {
 			b.Fatal(err)

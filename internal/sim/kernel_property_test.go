@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKernelStepHonorsHorizon is the regression test for Step firing events
+// past the horizon that Run would have cut off: the first pending event past
+// the horizon must advance the clock to the horizon, be discarded, and report
+// false — exactly like Run's termination.
+func TestKernelStepHonorsHorizon(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(1, "in", func(*Kernel) { fired++ })
+	k.At(5, "out", func(*Kernel) { fired++ })
+	k.SetHorizon(3)
+	if ok, err := k.Step(); err != nil || !ok {
+		t.Fatalf("first Step = (%v,%v), want (true,nil)", ok, err)
+	}
+	if ok, err := k.Step(); err != nil || ok {
+		t.Fatalf("post-horizon Step = (%v,%v), want (false,nil)", ok, err)
+	}
+	if k.Now() != 3 {
+		t.Errorf("Now = %v after horizon cut-off, want 3", k.Now())
+	}
+	if fired != 1 {
+		t.Errorf("fired %d events, want 1 (event past horizon must not fire)", fired)
+	}
+	if ok, err := k.Step(); err != nil || ok {
+		t.Fatalf("exhausted Step = (%v,%v), want (false,nil)", ok, err)
+	}
+}
+
+// TestEventRefStaleAfterRecycle pins the generation check of the index-based
+// refs: a ref to a fired event whose slab slot has been reused by a new event
+// must not cancel the new occupant.
+func TestEventRefStaleAfterRecycle(t *testing.T) {
+	k := NewKernel(1)
+	stale := k.At(1, "first", func(*Kernel) {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fired := false
+	fresh := k.At(2, "second", func(*Kernel) { fired = true })
+	if fresh.idx != stale.idx {
+		t.Fatalf("free stack did not reuse slot %d (got %d); staleness not exercised", stale.idx, fresh.idx)
+	}
+	if fresh.gen == stale.gen {
+		t.Fatalf("recycled slot kept generation %d", stale.gen)
+	}
+	stale.Cancel() // must be a no-op on the reused slot
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+}
+
+// TestKernelAfterEachMatchesChainedAfter pins AfterEach's bit-exact
+// equivalence to a chain of After calls: same times (accumulated by repeated
+// addition), same count, even for a fractional period.
+func TestKernelAfterEachMatchesChainedAfter(t *testing.T) {
+	const n = 40
+	const period = Duration(0.3)
+	chained := func() []Time {
+		k := NewKernel(1)
+		var times []Time
+		left := n
+		var tick Handler
+		tick = func(k *Kernel) {
+			times = append(times, k.Now())
+			left--
+			if left > 0 {
+				k.After(period, "tick", tick)
+			}
+		}
+		k.After(period, "tick", tick)
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return times
+	}()
+	batched := func() []Time {
+		k := NewKernel(1)
+		var times []Time
+		k.AfterEach(period, n, "tick", func(k *Kernel) { times = append(times, k.Now()) })
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return times
+	}()
+	if len(chained) != len(batched) {
+		t.Fatalf("tick counts differ: %d vs %d", len(chained), len(batched))
+	}
+	for i := range chained {
+		if chained[i] != batched[i] {
+			t.Fatalf("tick %d: AfterEach time %v != chained After time %v", i, batched[i], chained[i])
+		}
+	}
+}
+
+// TestKernelMatchesReferenceScheduler drives the kernel and a naive
+// sorted-scan reference scheduler through the same randomized interleavings
+// of At, AtBatch, Cancel, and Step, and requires the identical fire order.
+// Cancels deliberately hit refs whose events may already have fired and whose
+// slots may have been recycled and reused, so the generation check is under
+// test on every interleaving.
+func TestKernelMatchesReferenceScheduler(t *testing.T) {
+	type modelEvent struct {
+		at    Time
+		id    int
+		dead  bool
+		fired bool
+	}
+	type trackedRef struct {
+		ref EventRef
+		m   int // index into model
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		var got []int
+		var model []modelEvent // index order == seq order (FIFO tie-break)
+		var want []int
+		var refs []trackedRef
+		nextID := 0
+		handler := func(id int) Handler {
+			return func(*Kernel) { got = append(got, id) }
+		}
+		// modelStep fires the earliest live model event (lowest at, then
+		// lowest insertion index — the kernel's FIFO contract).
+		modelStep := func() bool {
+			best := -1
+			for i := range model {
+				if model[i].fired || model[i].dead {
+					continue
+				}
+				if best == -1 || model[i].at < model[best].at {
+					best = i
+				}
+			}
+			if best == -1 {
+				return false
+			}
+			model[best].fired = true
+			want = append(want, model[best].id)
+			return true
+		}
+		step := func() {
+			ok, err := k.Step()
+			if err != nil {
+				t.Fatalf("seed %d: Step: %v", seed, err)
+			}
+			if wantOK := modelStep(); ok != wantOK {
+				t.Fatalf("seed %d: Step fired=%v, reference fired=%v", seed, ok, wantOK)
+			}
+		}
+		for op := 0; op < 400; op++ {
+			switch c := r.Intn(10); {
+			case c < 4: // schedule one, keep the ref
+				at := k.Now() + Time(r.Intn(40))
+				id := nextID
+				nextID++
+				ref := k.At(at, "p", handler(id))
+				model = append(model, modelEvent{at: at, id: id})
+				refs = append(refs, trackedRef{ref: ref, m: len(model) - 1})
+			case c < 6: // schedule a batch (no refs, as per the API)
+				n := 1 + r.Intn(10)
+				batch := make([]BatchEvent, n)
+				for i := range batch {
+					at := k.Now() + Time(r.Intn(40))
+					id := nextID
+					nextID++
+					batch[i] = BatchEvent{At: at, Name: "b", Fn: handler(id)}
+					model = append(model, modelEvent{at: at, id: id})
+				}
+				k.AtBatch(batch)
+			case c < 8: // cancel a random ref, fired or not
+				if len(refs) > 0 {
+					tr := refs[r.Intn(len(refs))]
+					tr.ref.Cancel()
+					if m := &model[tr.m]; !m.fired {
+						m.dead = true
+					}
+				}
+			default:
+				step()
+			}
+		}
+		for pending := true; pending; {
+			before := len(want)
+			step()
+			pending = len(want) > before
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: fire %d: kernel ran id %d, reference id %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
