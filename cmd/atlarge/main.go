@@ -5,13 +5,14 @@
 //
 //	atlarge list [-tag T] [--domains] [--format text|json]
 //	atlarge run [experiment ...] [--all] [--seed N] [--parallel P] [--replicas R] [--format text|json] [--progress] [--timeout D] [--trace-dir DIR] [--trace-wall]
-//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N] [--rate R] [--burst B] [--queue-depth Q] [--max-jobs J] [--state-dir DIR] [--pprof] [--kernel-profile]
+//	atlarge serve [--addr HOST:PORT] [--parallel P] [--cache N] [--rate R] [--burst B] [--queue-depth Q] [--max-jobs J] [--state-dir DIR] [--workers H1,H2] [--pprof] [--kernel-profile]
+//	atlarge worker [--listen HOST:PORT] [--parallel P]
 //	atlarge trace <experiment-id> [--seed N] [--dir DIR] [--wall] [--events N]
 //	atlarge trace --spec <spec.json> [--cell ID] [--seed N] [--dir DIR] [--wall] [--events N]
 //	atlarge trace --validate <trace.json>
 //	atlarge scenario validate <spec.json> [--domain D]
 //	atlarge scenario run <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D]
-//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [--checkpoint DIR] [--trace-dir DIR] [--trace-wall]
+//	atlarge scenario sweep <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [--checkpoint DIR] [--workers H1,H2] [--trace-dir DIR] [--trace-wall]
 //
 // Experiments: fig1 fig2 fig3 fig7 fig9 tab5 tab6 tab7 tab8 tab9 autoscale bdc
 //
@@ -60,6 +61,17 @@
 // keyed by a content hash of the spec plus the effective seed and replica
 // count, so editing any of them starts a fresh run directory.
 //
+// worker serves the distributed-execution protocol (internal/dist): a
+// versioned handshake plus POST /v1/tasks:claim, which rebuilds a sweep plan
+// from the claimed job, runs a task range on the local pool, and streams one
+// NDJSON result line per task back with heartbeats in between. Point
+// `scenario sweep --workers host1:port,host2:port` or `serve --workers ...`
+// at a set of workers and the sweep fans out across them under lease-based
+// claims: a worker that dies mid-range is detected (broken stream or missed
+// heartbeats) and only its unfinished tasks are re-dispatched, never
+// dropping or duplicating a (cell, replica) result. Reports are
+// byte-identical to an in-process run at any worker count.
+//
 // scenario drives the declarative what-if engine (internal/scenario):
 // validate checks a spec and reports every problem, run executes an unswept
 // spec, and sweep expands the spec's axis lists into the cross-product of
@@ -86,6 +98,7 @@ import (
 
 	"atlarge"
 	"atlarge/internal/api"
+	"atlarge/internal/dist"
 	"atlarge/internal/exec"
 	"atlarge/internal/obs"
 	"atlarge/internal/scenario"
@@ -135,7 +148,7 @@ func run(args []string) error {
 
 func runTo(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: atlarge <list|run|serve|scenario> [args] (see 'go doc atlarge/cmd/atlarge')")
+		return fmt.Errorf("usage: atlarge <list|run|serve|worker|scenario> [args] (see 'go doc atlarge/cmd/atlarge')")
 	}
 	switch args[0] {
 	case "list":
@@ -270,6 +283,7 @@ func runTo(w io.Writer, args []string) error {
 			queueDepth = fs.Int("queue-depth", 0, "pending-task bound before submissions get 429 + Retry-After (0 = 4096)")
 			maxJobs    = fs.Int("max-jobs", 0, "concurrently running async jobs (0 = 4)")
 			stateDir   = fs.String("state-dir", "", "directory for durable job state; jobs survive restarts and resume from checkpoints")
+			workers    = fs.String("workers", "", "comma-separated worker addresses (host:port); sweeps execute across them instead of the in-process pool")
 			pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; off the API mux and its metrics)")
 			kprofile   = fs.Bool("kernel-profile", false, "aggregate per-event-name kernel profiles and export them on /metrics (adds per-event tracing cost)")
 		)
@@ -284,8 +298,14 @@ func runTo(w io.Writer, args []string) error {
 			QueueDepth:    *queueDepth,
 			MaxJobs:       *maxJobs,
 			StateDir:      *stateDir,
+			Workers:       splitAddrs(*workers),
 			KernelProfile: *kprofile,
 		})
+		// Workers connect before job recovery, so resumed sweeps distribute
+		// too; an unreachable worker fails the boot rather than a sweep.
+		if err := srv.ConnectWorkers(context.Background()); err != nil {
+			return err
+		}
 		if *stateDir != "" {
 			resumed, restored, err := srv.RecoverJobs()
 			if err != nil {
@@ -317,9 +337,41 @@ func runTo(w io.Writer, args []string) error {
 		// serve-smoke`) can scrape the bound port even with --addr :0.
 		fmt.Fprintf(w, "serving Results API v2 on http://%s\n", ln.Addr())
 		return http.Serve(ln, handler)
+	case "worker":
+		fs := newFlagSet("worker")
+		var (
+			listen   = fs.String("listen", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+			parallel = fs.Int("parallel", 0, "local worker pool size per claim (0 = the dispatcher's hint, else GOMAXPROCS)")
+		)
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		wk := &dist.Worker{
+			Build:       map[string]dist.Builder{scenario.DistJobKind: scenario.WorkerBuilder()},
+			Parallelism: *parallel,
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		// The listen line goes out before blocking so scripts (and `make
+		// dist-smoke`) can scrape the bound port even with --listen :0.
+		fmt.Fprintf(w, "worker serving sweep tasks on http://%s\n", ln.Addr())
+		return http.Serve(ln, wk.Handler())
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping empty entries.
+func splitAddrs(raw string) []string {
+	var out []string
+	for _, a := range strings.Split(raw, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // listDomains renders the scenario-domain catalog: every registered
@@ -389,7 +441,7 @@ func progressLine(w io.Writer, label string, stats *exec.Stats) func(done, total
 
 // runScenario dispatches the scenario subcommands: validate, run, sweep.
 func runScenario(w io.Writer, args []string) error {
-	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [sweep: --checkpoint DIR --trace-dir DIR --trace-wall]"
+	usage := "usage: atlarge scenario <validate|run|sweep> <spec.json> [--domain D] [--seed N] [--parallel P] [--replicas R] [--format text|json|csv] [--progress] [--timeout D] [sweep: --checkpoint DIR --workers H1,H2 --trace-dir DIR --trace-wall]"
 	if len(args) == 0 {
 		return fmt.Errorf("%s", usage)
 	}
@@ -407,6 +459,7 @@ func runScenario(w io.Writer, args []string) error {
 		progress   = fs.Bool("progress", false, "live task ticker on stderr: completions, tasks/sec, queue depth")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		checkpoint = fs.String("checkpoint", "", "sweep only: persist completed (cell, replica) results under this directory and resume from them")
+		workers    = fs.String("workers", "", "sweep only: comma-separated worker addresses (host:port); the sweep executes across them, byte-identically")
 		traceDir   = fs.String("trace-dir", "", "sweep only: capture kernel traces and task spans, written as trace.ndjson + trace.json under DIR")
 		traceWall  = fs.Bool("trace-wall", false, "include nondeterministic wall-clock fields in the captured trace")
 	)
@@ -431,6 +484,12 @@ func runScenario(w io.Writer, args []string) error {
 	}
 	if *traceDir != "" && sub != "sweep" {
 		return fmt.Errorf("--trace-dir applies to 'scenario sweep' only")
+	}
+	if *workers != "" && sub != "sweep" {
+		return fmt.Errorf("--workers applies to 'scenario sweep' only")
+	}
+	if *workers != "" && *traceDir != "" {
+		return fmt.Errorf("--workers and --trace-dir are mutually exclusive (kernel events fire inside the worker processes, out of this process's tracer's reach)")
 	}
 
 	spec, err := scenario.Load(paths[0])
@@ -491,7 +550,23 @@ func runScenario(w io.Writer, args []string) error {
 		}
 		ctx, cancel := withTimeout(*timeout)
 		defer cancel()
+		var dstats *dist.Stats
+		if *workers != "" {
+			clients, err := dist.DialAll(ctx, splitAddrs(*workers))
+			if err != nil {
+				return err
+			}
+			dstats = &dist.Stats{}
+			if err := scenario.Distribute(&opt, spec, clients, dstats); err != nil {
+				return err
+			}
+		}
 		rep, err := scenario.Run(ctx, spec, cells, opt)
+		if dstats != nil {
+			if n := dstats.Redispatched(); n > 0 {
+				fmt.Fprintf(os.Stderr, "scenario %s: %d task(s) re-dispatched after lost worker claims\n", sub, n)
+			}
+		}
 		if err != nil {
 			if *timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
 				return fmt.Errorf("scenario %s aborted after --timeout %v: %w", sub, *timeout, err)

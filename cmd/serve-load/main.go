@@ -11,11 +11,18 @@
 // so the harness exercises the serving machinery (admission, coalescing,
 // caching, the job table, metrics middleware) rather than simulation speed.
 //
+// With -workers N the harness additionally boots N in-process distributed
+// workers and points the server at them, so every sweep job fans out over
+// the worker protocol; the audits stay identical (zero dropped jobs, the
+// same p99 bound) plus a distributed reconciliation — worker completions
+// cover every job task, nothing left in flight, nothing re-dispatched.
+//
 // Exit status 0 means every audit passed.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +37,8 @@ import (
 
 	"atlarge"
 	"atlarge/internal/api"
+	"atlarge/internal/dist"
+	"atlarge/internal/scenario"
 )
 
 func main() {
@@ -41,9 +50,10 @@ func main() {
 		rate       = flag.Float64("rate", 0, "server per-client admission rate (0 = unlimited)")
 		queueDepth = flag.Int("queue-depth", 0, "server pending-task bound (0 = default)")
 		parallel   = flag.Int("parallel", 4, "server worker pool size")
+		workers    = flag.Int("workers", 0, "distributed workers to boot in-process (0 = local execution)")
 	)
 	flag.Parse()
-	if err := run(*clients, *rounds, *jobsPer, *p99Bound, *rate, *queueDepth, *parallel); err != nil {
+	if err := run(*clients, *rounds, *jobsPer, *p99Bound, *rate, *queueDepth, *parallel, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "serve-load: FAIL: %v\n", err)
 		os.Exit(1)
 	}
@@ -91,16 +101,43 @@ type tally struct {
 	latencies    []time.Duration
 }
 
-func run(clients, rounds, jobsPer int, p99Bound time.Duration, rate float64, queueDepth, parallel int) error {
+// bootWorkers starts n distributed-protocol workers on ephemeral local
+// ports and returns their addresses.
+func bootWorkers(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		wk := &dist.Worker{
+			Build:       map[string]dist.Builder{scenario.DistJobKind: scenario.WorkerBuilder()},
+			Parallelism: 2,
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		go func() { _ = http.Serve(ln, wk.Handler()) }()
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+func run(clients, rounds, jobsPer int, p99Bound time.Duration, rate float64, queueDepth, parallel, workers int) error {
+	workerAddrs, err := bootWorkers(workers)
+	if err != nil {
+		return err
+	}
 	srv := api.New(api.Config{
 		Registry:    syntheticRegistry(),
 		Parallelism: parallel,
 		Rate:        rate,
 		QueueDepth:  queueDepth,
 		MaxJobs:     clients,
+		Workers:     workerAddrs,
 		// Keep every job observable for the final reconciliation.
 		KeepJobs: clients*jobsPer + 8,
 	})
+	if err := srv.ConnectWorkers(context.Background()); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -179,9 +216,32 @@ func run(clients, rounds, jobsPer int, p99Bound time.Duration, rate float64, que
 		return fmt.Errorf("cache_hit_ratio = %v out of [0, 1]", ratio)
 	}
 
-	fmt.Printf("serve-load: OK — %d clients, %d/%d run queries OK (%d rate-limited retries), %d jobs done, p99 %v (bound %v), cache hit ratio %.2f\n",
+	// Audit 4 (with -workers): the distributed layer reconciles too — the
+	// workers together completed every job task, the in-flight gauge drained,
+	// and reliable local workers cost no re-dispatches.
+	distNote := ""
+	if workers > 0 {
+		completions := 0.0
+		for series, v := range samples {
+			if strings.HasPrefix(series, `atlarge_dist_worker_completions_total{`) {
+				completions += v
+			}
+		}
+		if want := float64(tal.jobsDone * tasksPerJob); completions < want {
+			return fmt.Errorf("dist reconciliation: worker completions = %v, want >= %v (every job task remote)", completions, want)
+		}
+		if v := samples["atlarge_dist_tasks_inflight"]; v != 0 {
+			return fmt.Errorf("dist reconciliation: tasks_inflight = %v after drain", v)
+		}
+		if v := samples["atlarge_dist_redispatched_total"]; v != 0 {
+			return fmt.Errorf("dist reconciliation: redispatched_total = %v with healthy workers", v)
+		}
+		distNote = fmt.Sprintf(", %d workers completed %.0f remote tasks", workers, completions)
+	}
+
+	fmt.Printf("serve-load: OK — %d clients, %d/%d run queries OK (%d rate-limited retries), %d jobs done, p99 %v (bound %v), cache hit ratio %.2f%s\n",
 		clients, tal.runOK, tal.runAttempts, tal.runRetries, tal.jobsDone, p99.Round(time.Microsecond), p99Bound,
-		samples["atlarge_cache_hit_ratio"])
+		samples["atlarge_cache_hit_ratio"], distNote)
 	return nil
 }
 

@@ -1,0 +1,115 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"atlarge/internal/dist"
+	"atlarge/internal/scenario"
+)
+
+// startDistWorkers boots k sweep workers and returns their addresses.
+func startDistWorkers(t *testing.T, k int) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := range addrs {
+		w := &dist.Worker{Build: map[string]dist.Builder{scenario.DistJobKind: scenario.WorkerBuilder()}, Parallelism: 2}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs
+}
+
+// TestServeDistributedSweep: a server with Config.Workers executes sweeps
+// across them — the synchronous sweep response is byte-identical to a
+// worker-less server's, and the dist metric families report the work.
+func TestServeDistributedSweep(t *testing.T) {
+	local := httptest.NewServer(New(Config{Registry: testRegistry(t), Parallelism: 2}))
+	t.Cleanup(local.Close)
+	resp, want := postBody(t, local.URL+"/v1/scenario/sweep", sweepSpecBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-process sweep status = %d: %s", resp.StatusCode, want)
+	}
+
+	srv := New(Config{Registry: testRegistry(t), Parallelism: 2, Workers: startDistWorkers(t, 2)})
+	if err := srv.ConnectWorkers(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, got := postBody(t, ts.URL+"/v1/scenario/sweep", sweepSpecBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed sweep status = %d: %s", resp.StatusCode, got)
+	}
+	if got != want {
+		t.Error("distributed sweep response differs from in-process response")
+	}
+
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, family := range []string{
+		"atlarge_dist_tasks_inflight 0",
+		"atlarge_dist_redispatched_total 0",
+		`atlarge_dist_worker_completions_total{worker=`,
+	} {
+		if !strings.Contains(metricsBody, family) {
+			t.Errorf("/metrics is missing %q after a distributed sweep", family)
+		}
+	}
+}
+
+// TestServeDistributedJob: the async jobs path distributes too, and the
+// job's result bytes match the synchronous sweep response.
+func TestServeDistributedJob(t *testing.T) {
+	srv := New(Config{Registry: testRegistry(t), Parallelism: 2, Workers: startDistWorkers(t, 2)})
+	if err := srv.ConnectWorkers(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, want := postBody(t, ts.URL+"/v1/scenario/sweep", sweepSpecBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync sweep status = %d", resp.StatusCode)
+	}
+	status, doc, raw := postJob(t, ts.URL, `{"kind": "sweep", "spec": `+sweepSpecBody+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("job submit status = %d: %s", status, raw)
+	}
+	if final := waitJobDone(t, ts.URL, doc.ID); final.State != jobDone {
+		t.Fatalf("distributed job ended %q, want done: %+v", final.State, final)
+	}
+	resp, got := get(t, ts.URL+"/v1/jobs/"+doc.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job result status = %d: %s", resp.StatusCode, got)
+	}
+	if got != want {
+		t.Error("distributed job result differs from sync sweep response")
+	}
+}
+
+// TestConnectWorkersFailFast: an unreachable worker fails ConnectWorkers
+// instead of surfacing later inside someone's sweep.
+func TestConnectWorkersFailFast(t *testing.T) {
+	srv := New(Config{Registry: testRegistry(t), Workers: []string{"127.0.0.1:1"}})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.ConnectWorkers(ctx); err == nil {
+		t.Fatal("ConnectWorkers succeeded against an unreachable address")
+	}
+}
+
+// postBody posts a JSON body and returns the response and its body text.
+func postBody(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, readAll(t, resp)
+}

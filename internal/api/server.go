@@ -14,6 +14,7 @@ import (
 
 	"atlarge"
 	"atlarge/internal/api/metrics"
+	"atlarge/internal/dist"
 	"atlarge/internal/exec"
 	"atlarge/internal/obs"
 	"atlarge/internal/scenario"
@@ -65,6 +66,11 @@ type Config struct {
 	// store, so a job's partial results live next to its record), and
 	// RecoverJobs resumes interrupted jobs after a restart.
 	StateDir string
+	// Workers lists remote worker addresses ("host:port" or http URLs); when
+	// non-empty (and after ConnectWorkers succeeds), sweeps execute across
+	// those worker processes instead of the in-process pool, byte-identically.
+	// /v1/run traffic stays local.
+	Workers []string
 	// KernelProfile attaches a shared per-event-name profile to every
 	// simulation kernel the process creates (it installs the process-global
 	// kernel observer), surfacing per-event fire counts and handler wall
@@ -116,6 +122,12 @@ type Server struct {
 	stats *exec.Stats
 	adm   *admission
 	store *jobstore // nil without StateDir
+
+	// Distributed execution (Config.Workers): the dialed worker clients and
+	// the process-wide dist counters behind the atlarge_dist_* families.
+	// distClients is written once by ConnectWorkers, before traffic.
+	distClients []*dist.Client
+	distStats   *dist.Stats
 
 	// mu guards inflight (and makes the cache-lookup/flight-registration
 	// pair atomic): concurrent identical misses coalesce onto one flight
@@ -177,13 +189,14 @@ func New(cfg Config) *Server {
 		cfg.QueueDepth = 4096
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    newLRU[runKey, atlarge.ExperimentResult](cfg.CacheSize),
-		mux:      http.NewServeMux(),
-		stats:    &exec.Stats{},
-		inflight: make(map[runKey]*flight),
-		jobs:     make(map[string]*job),
-		evicted:  make(map[string]bool),
+		cfg:       cfg,
+		cache:     newLRU[runKey, atlarge.ExperimentResult](cfg.CacheSize),
+		mux:       http.NewServeMux(),
+		stats:     &exec.Stats{},
+		inflight:  make(map[runKey]*flight),
+		jobs:      make(map[string]*job),
+		evicted:   make(map[string]bool),
+		distStats: &dist.Stats{},
 	}
 	var limiter *rateLimiter
 	if cfg.Rate > 0 {
@@ -227,6 +240,32 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// ConnectWorkers dials and handshakes every Config.Workers address,
+// fail-fast: a sweep must never start against an unreachable or
+// version-skewed worker set. Call it once before serving traffic; a no-op
+// without configured workers.
+func (s *Server) ConnectWorkers(ctx context.Context) error {
+	if len(s.cfg.Workers) == 0 {
+		return nil
+	}
+	clients, err := dist.DialAll(ctx, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	s.distClients = clients
+	return nil
+}
+
+// maybeDistribute routes a sweep's execution across the connected workers by
+// installing the dispatcher as the run's executor; a no-op without workers,
+// leaving the in-process pool in place.
+func (s *Server) maybeDistribute(opt *scenario.Options, spec *scenario.Spec) error {
+	if len(s.distClients) == 0 {
+		return nil
+	}
+	return scenario.Distribute(opt, spec, s.distClients, s.distStats)
+}
+
 // initMetrics registers the server's Prometheus instruments: saturation
 // signals (queue depth, running tasks, completion rate), cache
 // effectiveness, job-table state, and per-endpoint traffic and latency.
@@ -267,6 +306,24 @@ func (s *Server) initMetrics() {
 	jobs := m.GaugeVec("atlarge_jobs", "Jobs in the server's table, by state.", "state")
 	for _, state := range jobStates {
 		jobs.Set(func() float64 { return float64(s.countJobs(state)) }, state)
+	}
+	if len(s.cfg.Workers) > 0 {
+		m.GaugeFunc("atlarge_dist_tasks_inflight",
+			"Tasks currently claimed by remote workers and not yet settled.",
+			func() float64 { return float64(s.distStats.InFlight()) })
+		m.CounterFunc("atlarge_dist_redispatched_total",
+			"Tasks re-dispatched after a lost worker claim (death, lease expiry, protocol failure).",
+			func() float64 { return float64(s.distStats.Redispatched()) })
+		m.CounterSnapshotFunc("atlarge_dist_worker_completions_total",
+			"Tasks settled by each remote worker.",
+			[]string{"worker"}, func() []metrics.Sample {
+				wcs := s.distStats.WorkerCompletions()
+				out := make([]metrics.Sample, 0, len(wcs))
+				for _, wc := range wcs {
+					out = append(out, metrics.Sample{Labels: []string{wc.Worker}, Value: float64(wc.Tasks)})
+				}
+				return out
+			})
 	}
 	m.CounterFunc("atlarge_kernel_events_total",
 		"Simulation kernel events fired process-wide, flushed once per kernel run.",
@@ -715,6 +772,10 @@ func (s *Server) handleScenarioSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt.Stats = s.stats
+	if err := s.maybeDistribute(&opt, spec); err != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+		return
+	}
 	rep, err := scenario.Run(r.Context(), spec, cells, opt)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
@@ -854,6 +915,14 @@ func (s *Server) launchJob(w http.ResponseWriter, spec *scenario.Spec, cells []s
 		opt.Checkpoint = s.store.dir
 	}
 	opt.Stats = s.stats
+	if err := s.maybeDistribute(&opt, spec); err != nil {
+		cancel()
+		s.jobMu.Lock()
+		delete(s.jobs, id)
+		s.jobMu.Unlock()
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+		return nil, false, false
+	}
 	go s.runJob(ctx, cancel, j, spec, cells, opt)
 	return j, true, true
 }
@@ -978,6 +1047,9 @@ func (s *Server) resumeJob(rec *jobRecord) error {
 		Seed:        &rec.Seed, // the effective seed; RunHash stays rec.ID
 		Checkpoint:  s.store.dir,
 		Stats:       s.stats,
+	}
+	if err := s.maybeDistribute(&opt, spec); err != nil {
+		return fmt.Errorf("api: recover job %s: %w", rec.ID, err)
 	}
 	go s.runJob(ctx, cancel, j, spec, cells, opt)
 	return nil

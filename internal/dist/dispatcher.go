@@ -1,0 +1,345 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"atlarge/internal/exec"
+)
+
+// Dispatch timing defaults.
+const (
+	// DefaultLease bounds the silence a dispatcher tolerates on a claim
+	// stream before abandoning it and re-dispatching the unsettled tasks.
+	DefaultLease = 15 * time.Second
+	// defaultWorkerFailures is how many consecutive claim failures retire a
+	// worker from the dispatch.
+	defaultWorkerFailures = 3
+	// claimsPerWorker sets the default claim granularity: enough claims per
+	// worker that losing one re-runs a fraction of the sweep, few enough
+	// that per-claim overhead (plan rebuild, HTTP round-trip) stays noise.
+	claimsPerWorker = 4
+)
+
+// DispatchOptions tunes one dispatcher.
+type DispatchOptions struct {
+	// Job is the re-creatable work description sent with every claim.
+	Job Job
+	// Lease bounds per-line silence on claim streams; 0 means DefaultLease.
+	Lease time.Duration
+	// Chunk is the task-range size per claim; 0 picks
+	// ceil(tasks / (workers × claimsPerWorker)).
+	Chunk int
+	// Parallel hints each worker's local pool size; 0 defers to the worker.
+	Parallel int
+	// Stats, when non-nil, receives the distributed-layer counters (remote
+	// tasks in flight, re-dispatches, per-worker completions).
+	Stats *Stats
+	// MaxWorkerFailures retires a worker after that many consecutive failed
+	// claims; 0 means defaultWorkerFailures.
+	MaxWorkerFailures int
+}
+
+// Dispatcher executes plans across remote workers. Its Stream method has the
+// executor seam's shape (exec.StreamFunc), so it substitutes for exec.Stream
+// under any positional collector: one event per task, indexed by plan
+// position, in completion order.
+//
+// Execution: tasks not served by the plan's Cache are chunked into
+// contiguous ranges and queued; each live worker loops claiming ranges and
+// streaming results back. A failed claim (broken stream, lease expiry,
+// protocol violation) re-queues exactly the tasks the dispatcher has not
+// seen — completed work never re-runs, because re-claims carry the settled
+// indices in their skip set — and a worker that fails repeatedly is retired.
+// If every worker is retired with tasks outstanding, those tasks settle with
+// an error event each; a cancelled context settles them as skips, matching
+// exec.Stream's contract.
+type Dispatcher[R any] struct {
+	clients []*Client
+	opt     DispatchOptions
+}
+
+// NewDispatcher wires a dispatcher over already-dialed workers.
+func NewDispatcher[R any](clients []*Client, opt DispatchOptions) (*Dispatcher[R], error) {
+	if len(clients) == 0 {
+		return nil, errors.New("dist: dispatcher needs at least one worker")
+	}
+	if opt.Lease <= 0 {
+		opt.Lease = DefaultLease
+	}
+	if opt.MaxWorkerFailures <= 0 {
+		opt.MaxWorkerFailures = defaultWorkerFailures
+	}
+	return &Dispatcher[R]{clients: clients, opt: opt}, nil
+}
+
+// claimRange is one queued unit of dispatch: the plan tasks [start, end),
+// minus whatever is already settled at claim time.
+type claimRange struct {
+	start, end int
+}
+
+// coord is the shared dispatch state: the settled set, the claim queue, and
+// the completion signal. The queue is a channel with capacity for every
+// initial claim; a range is re-queued at most once per pop (with its settled
+// tasks excluded), so occupancy never exceeds the initial claim count.
+type coord struct {
+	mu        sync.Mutex
+	settled   []bool
+	remaining int
+
+	queue chan claimRange
+	done  chan struct{} // closed when remaining hits 0
+}
+
+// trySettle marks task i settled; false if it already was. Closing done on
+// the last task releases workers blocked on an empty queue.
+func (c *coord) trySettle(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.settled[i] {
+		return false
+	}
+	c.settled[i] = true
+	c.remaining--
+	if c.remaining == 0 {
+		close(c.done)
+	}
+	return true
+}
+
+// pendingIn snapshots the unsettled tasks of [start, end): the indices to
+// run and the settled ones as the claim's skip set.
+func (c *coord) pendingIn(start, end int) (toRun, skip []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := start; i < end; i++ {
+		if c.settled[i] {
+			skip = append(skip, i)
+		} else {
+			toRun = append(toRun, i)
+		}
+	}
+	return toRun, skip
+}
+
+// Stream executes the plan across the dispatcher's workers and returns the
+// event channel; see Dispatcher for the execution model. The channel closes
+// after exactly len(p.Tasks) events, like exec.Stream's.
+func (d *Dispatcher[R]) Stream(ctx context.Context, p *exec.Plan[R], eopt exec.Options[R]) <-chan exec.Event[R] {
+	out := make(chan exec.Event[R])
+	if p.Len() == 0 {
+		close(out)
+		return out
+	}
+	if eopt.Stats != nil {
+		eopt.Stats.Enqueue(p.Len())
+	}
+	go d.run(ctx, p, eopt, out)
+	return out
+}
+
+// settleEvent applies the shared accounting of one settled task and emits
+// its event.
+func settleEvent[R any](eopt exec.Options[R], out chan<- exec.Event[R], ev exec.Event[R]) {
+	if eopt.Stats != nil {
+		eopt.Stats.Settle(ev.Skipped, ev.Err != nil && !ev.Skipped)
+	}
+	out <- ev
+}
+
+func (d *Dispatcher[R]) run(ctx context.Context, p *exec.Plan[R], eopt exec.Options[R], out chan<- exec.Event[R]) {
+	defer close(out)
+	n := p.Len()
+	c := &coord{settled: make([]bool, n), remaining: n, done: make(chan struct{})}
+
+	// The shared content-addressed cache (the sweep checkpoint store) is
+	// consulted up front: overlapping sweeps from concurrent clients dedup
+	// here, and a resumed sweep only dispatches its missing tail.
+	var pending []int
+	for i := 0; i < n; i++ {
+		if eopt.Cache != nil {
+			if r, ok := eopt.Cache.Load(p.Tasks[i].ID); ok {
+				c.trySettle(i)
+				settleEvent(eopt, out, exec.Event[R]{Index: i, ID: p.Tasks[i].ID, Result: r, Cached: true})
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	// Chunk the pending tasks into contiguous claims. Cached holes inside a
+	// range land in the claim's skip set when it is sent.
+	chunk := d.opt.Chunk
+	if chunk <= 0 {
+		chunk = (len(pending) + len(d.clients)*claimsPerWorker - 1) / (len(d.clients) * claimsPerWorker)
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var claims []claimRange
+	for at := 0; at < len(pending); at += chunk {
+		hi := min(at+chunk, len(pending))
+		claims = append(claims, claimRange{start: pending[at], end: pending[hi-1] + 1})
+	}
+	c.queue = make(chan claimRange, len(claims))
+	for _, cr := range claims {
+		c.queue <- cr
+	}
+
+	var wg sync.WaitGroup
+	for _, client := range d.clients {
+		wg.Add(1)
+		go func(client *Client) {
+			defer wg.Done()
+			d.workerLoop(ctx, c, client, p, eopt, out)
+		}(client)
+	}
+	wg.Wait()
+
+	// Whatever is still unsettled has no one left to run it: every worker
+	// retired (error events) or the context fired (skips, exec semantics).
+	c.mu.Lock()
+	unsettled := make([]int, 0, c.remaining)
+	for i := 0; i < n; i++ {
+		if !c.settled[i] {
+			unsettled = append(unsettled, i)
+		}
+	}
+	c.mu.Unlock()
+	for _, i := range unsettled {
+		ev := exec.Event[R]{Index: i, ID: p.Tasks[i].ID}
+		if err := ctx.Err(); err != nil {
+			ev.Err = err
+			ev.Skipped = true
+		} else {
+			ev.Err = fmt.Errorf("dist: task %s lost: all %d workers retired", p.Tasks[i].ID, len(d.clients))
+		}
+		settleEvent(eopt, out, ev)
+	}
+}
+
+// workerLoop drives one worker: claim, stream, and on failure re-queue the
+// lost tasks and back off; retire after MaxWorkerFailures consecutive
+// failures.
+func (d *Dispatcher[R]) workerLoop(ctx context.Context, c *coord, client *Client, p *exec.Plan[R], eopt exec.Options[R], out chan<- exec.Event[R]) {
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		case cr := <-c.queue:
+			missing, err := d.runClaim(ctx, c, client, cr, p, eopt, out)
+			if ctx.Err() != nil {
+				return
+			}
+			if err == nil && len(missing) == 0 {
+				failures = 0
+				continue
+			}
+			// The claim is lost (wholly or partially): queue exactly the
+			// unobserved tasks again. Capacity is guaranteed — re-queues are
+			// one-for-one with pops.
+			if len(missing) > 0 {
+				if d.opt.Stats != nil {
+					d.opt.Stats.redispatched.Add(int64(len(missing)))
+				}
+				c.queue <- claimRange{start: missing[0], end: missing[len(missing)-1] + 1}
+			}
+			failures++
+			if failures >= d.opt.MaxWorkerFailures {
+				return
+			}
+			// Brief backoff so a dead worker's loop does not spin through
+			// its failure budget before the process is even noticed gone.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Duration(failures) * 100 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// runClaim executes one claim against one worker and returns the tasks it
+// was responsible for that remain unsettled, plus the stream error if the
+// claim did not terminate healthily.
+func (d *Dispatcher[R]) runClaim(ctx context.Context, c *coord, client *Client, cr claimRange, p *exec.Plan[R], eopt exec.Options[R], out chan<- exec.Event[R]) ([]int, error) {
+	toRun, skip := c.pendingIn(cr.start, cr.end)
+	if len(toRun) == 0 {
+		return nil, nil
+	}
+	if d.opt.Stats != nil {
+		d.opt.Stats.inflight.Add(int64(len(toRun)))
+	}
+	// Each settled task decrements the gauge as it lands; the deferred
+	// correction removes whatever the claim lost (tasks that will re-queue).
+	settledHere := 0
+	defer func() {
+		if d.opt.Stats != nil {
+			d.opt.Stats.inflight.Add(int64(settledHere) - int64(len(toRun)))
+		}
+	}()
+
+	creq := &ClaimRequest{
+		Protocol:        ProtocolVersion,
+		Job:             d.opt.Job,
+		Start:           cr.start,
+		End:             cr.end,
+		Skip:            skip,
+		Parallel:        d.opt.Parallel,
+		HeartbeatMillis: int(d.opt.Lease.Milliseconds() / 5),
+	}
+	err := client.Claim(ctx, creq, d.opt.Lease, func(m *Message) error {
+		if m.Index < cr.start || m.Index >= cr.end {
+			return fmt.Errorf("dist: worker %s: task index %d outside claim [%d, %d)",
+				client.Name, m.Index, cr.start, cr.end)
+		}
+		if m.ID != p.Tasks[m.Index].ID {
+			return fmt.Errorf("dist: worker %s: task %d identity mismatch: worker ran %q, plan holds %q (version skew?)",
+				client.Name, m.Index, m.ID, p.Tasks[m.Index].ID)
+		}
+		ev := exec.Event[R]{Index: m.Index, ID: m.ID}
+		if m.Type == MsgError {
+			ev.Err = errors.New(m.Error)
+		} else if err := json.Unmarshal(m.Result, &ev.Result); err != nil {
+			return fmt.Errorf("dist: worker %s: task %s result: %w", client.Name, m.ID, err)
+		}
+		if !c.trySettle(m.Index) {
+			return nil // settled by an earlier partial claim of this range
+		}
+		settledHere++
+		if ev.Err == nil && eopt.Cache != nil {
+			eopt.Cache.Store(ev.ID, ev.Result)
+		}
+		if d.opt.Stats != nil {
+			d.opt.Stats.inflight.Add(-1)
+			d.opt.Stats.completed(client.Name)
+		}
+		settleEvent(eopt, out, ev)
+		return nil
+	})
+
+	var missing []int
+	c.mu.Lock()
+	for _, i := range toRun {
+		if !c.settled[i] {
+			missing = append(missing, i)
+		}
+	}
+	c.mu.Unlock()
+	if err == nil && len(missing) > 0 {
+		err = fmt.Errorf("dist: worker %s: claim finished but left %d of %d tasks unsettled",
+			client.Name, len(missing), len(toRun))
+	}
+	return missing, err
+}

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats aggregates live counters of the distributed layer, shareable across
+// every dispatch the process runs (the serve layer hands all its dispatchers
+// one Stats so /metrics sees process totals). All methods are safe for
+// concurrent use; the zero value is ready.
+type Stats struct {
+	inflight     atomic.Int64
+	redispatched atomic.Int64
+
+	mu        sync.Mutex
+	perWorker map[string]int64
+}
+
+// InFlight is the number of tasks currently claimed by remote workers and
+// not yet settled.
+func (s *Stats) InFlight() int64 { return s.inflight.Load() }
+
+// Redispatched counts tasks whose claim was lost (worker death, lease
+// expiry, protocol failure) and that were queued again, monotonically.
+func (s *Stats) Redispatched() int64 { return s.redispatched.Load() }
+
+// completed records one settled task for a worker.
+func (s *Stats) completed(worker string) {
+	s.mu.Lock()
+	if s.perWorker == nil {
+		s.perWorker = make(map[string]int64)
+	}
+	s.perWorker[worker]++
+	s.mu.Unlock()
+}
+
+// WorkerCompletion is one worker's completion count.
+type WorkerCompletion struct {
+	Worker string
+	Tasks  int64
+}
+
+// WorkerCompletions snapshots per-worker settled-task totals, sorted by
+// worker name so exposition order is stable.
+func (s *Stats) WorkerCompletions() []WorkerCompletion {
+	s.mu.Lock()
+	out := make([]WorkerCompletion, 0, len(s.perWorker))
+	for w, n := range s.perWorker {
+		out = append(out, WorkerCompletion{Worker: w, Tasks: n})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}

@@ -125,6 +125,24 @@ func (s *Stats) Completed() int64 { return s.completed.Load() }
 // context are neither completed nor failed).
 func (s *Stats) Failed() int64 { return s.failed.Load() }
 
+// Enqueue adds n tasks to the pending backlog. Stream calls it for the whole
+// plan up front; alternative executors behind a StreamFunc must do the same
+// so admission control sees their backlog too.
+func (s *Stats) Enqueue(n int) { s.pending.Add(int64(n)) }
+
+// Settle accounts one task leaving the backlog: a skip is neither completed
+// nor failed, a failure increments Failed, everything else Completed.
+func (s *Stats) Settle(skipped, failed bool) {
+	s.pending.Add(-1)
+	switch {
+	case skipped:
+	case failed:
+		s.failed.Add(1)
+	default:
+		s.completed.Add(1)
+	}
+}
+
 // Options tunes one plan execution.
 type Options[R any] struct {
 	// Workers bounds the pool; <= 0 means GOMAXPROCS (clamped to the plan
@@ -140,6 +158,14 @@ type Options[R any] struct {
 	// default so the plain path makes no clock reads beyond Elapsed.
 	Spans bool
 }
+
+// StreamFunc is the execution seam: anything with Stream's shape — exactly
+// one Event per plan task, positionally indexed, channel closed when all are
+// accounted for — can stand in for the in-process pool. The distributed
+// dispatcher (internal/dist) implements this to fan a plan out across worker
+// processes; because collection is positional, substituting the executor
+// cannot change output bytes.
+type StreamFunc[R any] func(ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event[R]
 
 // Stream executes the plan and returns the event channel. Exactly one Event
 // is emitted per task — results, failures, cache hits, and (after
@@ -165,7 +191,7 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 		return out
 	}
 	if opt.Stats != nil {
-		opt.Stats.pending.Add(int64(len(p.Tasks)))
+		opt.Stats.Enqueue(len(p.Tasks))
 	}
 	var epoch time.Time
 	if opt.Spans {
@@ -184,15 +210,7 @@ func Stream[R any](ctx context.Context, p *Plan[R], opt Options[R]) <-chan Event
 				}
 				ev := runTask(ctx, &p.Tasks[i], i, worker, epoch, opt.Cache, opt.Stats)
 				if opt.Stats != nil {
-					opt.Stats.pending.Add(-1)
-					switch {
-					case ev.Skipped:
-						// neither completed nor failed
-					case ev.Err != nil:
-						opt.Stats.failed.Add(1)
-					default:
-						opt.Stats.completed.Add(1)
-					}
+					opt.Stats.Settle(ev.Skipped, ev.Err != nil && !ev.Skipped)
 				}
 				out <- ev
 			}

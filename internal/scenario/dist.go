@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strconv"
+
+	"atlarge"
+	"atlarge/internal/dist"
+	"atlarge/internal/exec"
+)
+
+// DistJobKind is the dist job kind under which sweep plans are built; the
+// worker CLI registers WorkerBuilder under it.
+const DistJobKind = "sweep"
+
+// DistJob renders the spec as a distributable job document: the spec JSON
+// (workload trace paths absolutized, since the worker has no spec directory
+// to resolve against) plus the effective seed and replica count. Workers on
+// other hosts must see the trace file at the same path (shared or copied
+// filesystem); generated-workload specs carry everything on the wire.
+func DistJob(s *Spec, seed int64, replicas int) (dist.Job, error) {
+	// A fresh literal rather than *s: Spec embeds the trace-memo sync.Once,
+	// which must not be copied.
+	c := Spec{
+		Version:   s.Version,
+		Name:      s.Name,
+		Domain:    s.Domain,
+		Workload:  s.Workload,
+		Cluster:   s.Cluster,
+		Policy:    s.Policy,
+		Autoscale: s.Autoscale,
+		MMOG:      s.MMOG,
+		Replicas:  s.Replicas,
+		Seed:      s.Seed,
+		Objective: s.Objective,
+		Sweep:     s.Sweep,
+	}
+	if c.Workload.Trace != "" {
+		abs, err := filepath.Abs(s.tracePath())
+		if err != nil {
+			return dist.Job{}, fmt.Errorf("scenario: resolve trace path: %w", err)
+		}
+		c.Workload.Trace = abs
+	}
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		return dist.Job{}, fmt.Errorf("scenario: marshal spec: %w", err)
+	}
+	return dist.Job{Kind: DistJobKind, Spec: raw, Seed: seed, Replicas: replicas}, nil
+}
+
+// WorkerBuilder returns the dist plan builder for sweep jobs: parse the job's
+// spec, expand it, and lay out one task per (cell, replica) — the identical
+// IDs, order, and derived seeds Run uses, so task indices mean the same
+// (cell, replica) on the worker as on the dispatcher. Task results are the
+// cell's metric values as JSON, the exact bytes the checkpoint store and the
+// dispatcher-side aggregation both consume.
+func WorkerBuilder() dist.Builder {
+	return func(j dist.Job) (*exec.Plan[json.RawMessage], error) {
+		s, err := Parse(bytes.NewReader(j.Spec))
+		if err != nil {
+			return nil, err
+		}
+		if j.Replicas <= 0 {
+			return nil, fmt.Errorf("scenario: job replicas must be positive, got %d", j.Replicas)
+		}
+		cells, err := Expand(s)
+		if err != nil {
+			return nil, err
+		}
+		plan := &exec.Plan[json.RawMessage]{}
+		for i := range cells {
+			sc := &cells[i]
+			for rep := 0; rep < j.Replicas; rep++ {
+				workloadSeed := atlarge.DeriveSeed(j.Seed, sc.WorkloadID(), rep)
+				simSeed := atlarge.DeriveSeed(j.Seed, sc.ID(), rep)
+				plan.Add(sc.ID()+"#"+strconv.Itoa(rep), func(context.Context) (json.RawMessage, error) {
+					ms, err := sc.domain.Run(sc, workloadSeed, simSeed)
+					if err != nil {
+						return nil, err
+					}
+					return json.Marshal(ms)
+				})
+			}
+		}
+		return plan, nil
+	}
+}
+
+// Distribute switches a run onto remote workers: it describes the sweep as a
+// dist job (using the same seed/replica resolution Run will apply to opt)
+// and installs a dispatcher over the dialed clients as opt.Stream. Everything
+// else about Run — positional aggregation, checkpoint cache, progress,
+// failure reporting — is unchanged, which is why the report bytes are too.
+func Distribute(opt *Options, s *Spec, clients []*dist.Client, dstats *dist.Stats) error {
+	seed, replicas := Effective(s, *opt)
+	job, err := DistJob(s, seed, replicas)
+	if err != nil {
+		return err
+	}
+	d, err := dist.NewDispatcher[[]MetricValue](clients, dist.DispatchOptions{
+		Job:      job,
+		Parallel: opt.Parallelism,
+		Stats:    dstats,
+	})
+	if err != nil {
+		return err
+	}
+	opt.Stream = d.Stream
+	return nil
+}

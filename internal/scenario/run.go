@@ -47,6 +47,29 @@ type Options struct {
 	// receives every non-skipped (cell, replica) task's span along with the
 	// task's error, in completion order from the collecting goroutine.
 	SpanObserver func(index int, id string, span exec.TaskSpan, err error)
+	// Stream, when non-nil, replaces the in-process executor: the plan is
+	// handed to this StreamFunc instead of exec.Stream. The distributed
+	// dispatcher plugs in here (see Distribute); because aggregation is
+	// positional, the substitution cannot change report bytes.
+	Stream exec.StreamFunc[[]MetricValue]
+}
+
+// Effective resolves the run's seed and replica count from the spec and the
+// option overrides — the same resolution Run applies, exported so the
+// distributed path can describe the identical job to remote workers.
+func Effective(s *Spec, opt Options) (seed int64, replicas int) {
+	replicas = opt.Replicas
+	if replicas <= 0 {
+		replicas = s.Replicas
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	seed = s.Seed
+	if opt.Seed != nil {
+		seed = *opt.Seed
+	}
+	return seed, replicas
 }
 
 // Run executes the concrete scenarios over the streaming work-plan executor
@@ -73,17 +96,7 @@ func Run(ctx context.Context, s *Spec, cells []Scenario, opt Options) (*Report, 
 	if err != nil {
 		return nil, err
 	}
-	replicas := opt.Replicas
-	if replicas <= 0 {
-		replicas = s.Replicas
-	}
-	if replicas <= 0 {
-		replicas = 1
-	}
-	seed := s.Seed
-	if opt.Seed != nil {
-		seed = *opt.Seed
-	}
+	seed, replicas := Effective(s, opt)
 
 	// One task per (cell, replica), cell-major, carrying its own seed pair;
 	// the index cell*replicas+rep is the positional slot aggregation reads.
@@ -126,9 +139,13 @@ func Run(ctx context.Context, s *Spec, cells []Scenario, opt Options) (*Report, 
 	for i := range acc {
 		acc[i].byReplica = make([][]MetricValue, replicas)
 	}
+	stream := opt.Stream
+	if stream == nil {
+		stream = exec.Stream[[]MetricValue]
+	}
 	errs := make([]error, plan.Len())
 	done := 0
-	for ev := range exec.Stream(ctx, plan, execOpt) {
+	for ev := range stream(ctx, plan, execOpt) {
 		if ev.Err != nil {
 			errs[ev.Index] = ev.Err
 		} else {
