@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke serve-load serve-restart-smoke sweep-resume-smoke trace-smoke dist-smoke clean
+.PHONY: all build test test-short lint fmt vet bench bench-base bench-compare run-all scenario-golden catalog-golden serve-smoke serve-load serve-restart-smoke sweep-resume-smoke trace-smoke dist-smoke stream-smoke clean
 
 all: build lint test
 
@@ -31,10 +31,11 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# The gated hot-path benchmarks — the event kernel and the streaming
-# work-plan executor every runner/sweep/API request rides on — measured long
+# The gated hot-path benchmarks — the event kernel, the streaming work-plan
+# executor every runner/sweep/API request rides on, and the population job
+# stream (which must stay ~0 allocs/job at any client count) — measured long
 # enough to gate on.
-BENCH_KERNEL = $(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkExecStream|BenchmarkWorldTick' -benchmem -benchtime 1s ./internal/sim ./internal/exec ./internal/mmog
+BENCH_KERNEL = $(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkExecStream|BenchmarkWorldTick|BenchmarkPopulationStream' -benchmem -benchtime 1s ./internal/sim ./internal/exec ./internal/mmog ./internal/workload
 
 # Regenerate the committed perf baseline (run on the reference machine after
 # an intentional kernel change, and commit the result).
@@ -264,6 +265,12 @@ trace-smoke:
 	cmp "$$tmp/t1/trace.ndjson" "$$tmp/t2/trace.ndjson"; \
 	cmp "$$tmp/t1/trace.json" "$$tmp/t2/trace.json"; \
 	echo "trace-smoke: OK (Chrome trace valid, both runs byte-identical)"
+
+# Memory gate for the streaming workload engine: stream a million jobs from a
+# million-client population and fail if peak heap exceeds the budget, proving
+# resident state is O(clients) rather than O(jobs). See cmd/stream-smoke.
+stream-smoke:
+	$(GO) run ./cmd/stream-smoke -clients 1000000 -jobs 1000000 -skew zipf -shards 8
 
 clean:
 	$(GO) clean ./...

@@ -203,6 +203,26 @@ func workloadAxes() map[string]AxisDef {
 				return formatValue(v)
 			},
 		},
+		"clients": {
+			Check: func(v any) error { return checkInt(v, 1) },
+			Apply: func(sc *Scenario, v any) string {
+				sc.Workload.Clients = int(v.(float64))
+				sc.Workload.Trace = ""
+				return formatValue(v)
+			},
+			Generative: true,
+		},
+		"skew": {
+			Check: func(v any) error {
+				return checkName(v, func(s string) error { _, err := workload.ParseSkew(s); return err })
+			},
+			Canon: func(v any) string { return strings.ToLower(v.(string)) },
+			Apply: func(sc *Scenario, v any) string {
+				sc.Workload.Skew = strings.ToLower(v.(string))
+				return sc.Workload.Skew
+			},
+			Generative: true,
+		},
 	}
 }
 

@@ -279,9 +279,10 @@ func reportAxes(s *Spec) []Axis {
 }
 
 // buildTrace resolves the scenario's workload for one replica seed: an
-// imported GWA trace or a generated class (with optional arrival override),
-// then rescaled to the target offered load when one is set. It is shared by
-// every domain that drives a job-trace workload.
+// imported GWA trace, a streamed client population (clients > 0), or a
+// generated class (with optional arrival override), then rescaled to the
+// target offered load when one is set. It is shared by every domain that
+// drives a job-trace workload.
 func (sc *Scenario) buildTrace(seed int64, totalCores int) (*workload.Trace, error) {
 	var tr *workload.Trace
 	if sc.Workload.Trace != "" {
@@ -290,6 +291,38 @@ func (sc *Scenario) buildTrace(seed int64, totalCores int) (*workload.Trace, err
 		if err != nil {
 			return nil, err
 		}
+	} else if sc.Workload.Clients > 0 {
+		class, err := workload.ClassByName(sc.Workload.Class)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+		}
+		skew, err := workload.ParseSkew(sc.Workload.Skew)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+		}
+		pop := &workload.Population{
+			Clients: sc.Workload.Clients,
+			Mix:     workload.SingleClass(class),
+			Skew:    skew,
+			Seed:    seed,
+		}
+		if a := sc.Workload.Arrival; a != nil {
+			ap, err := workload.ArrivalsByName(a.Process, a.Params)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+			}
+			pop.Arrival = ap
+		}
+		src, err := pop.Source()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cell %s: %w", sc.ID(), err)
+		}
+		jobs := sc.Workload.Jobs
+		if jobs <= 0 {
+			jobs = defaultJobs
+		}
+		tr = workload.Collect(src, jobs)
+		src.Close()
 	} else {
 		class, err := workload.ClassByName(sc.Workload.Class)
 		if err != nil {

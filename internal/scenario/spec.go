@@ -99,6 +99,14 @@ type WorkloadSpec struct {
 	// Load, when positive, rescales submission times so the offered load
 	// (total CPU-seconds ÷ (cores × submission span)) hits this target.
 	Load float64 `json:"load,omitempty"`
+	// Clients, when positive, streams the workload from a Population of
+	// that many heterogeneous clients — per-client RNG streams, optional
+	// rate skew — with the class calibrating every client. Mutually
+	// exclusive with Trace.
+	Clients int `json:"clients,omitempty"`
+	// Skew names the per-client rate skew for populations: "none", "zipf",
+	// or "lognormal" (see workload.SkewNames). Requires Clients.
+	Skew string `json:"skew,omitempty"`
 }
 
 // ArrivalSpec names an arrival process with optional parameter overrides.
@@ -320,7 +328,13 @@ func (s *Spec) validateWorkloadSpec(bad func(string, ...any)) {
 		if w.Jobs != 0 {
 			bad("workload: trace and jobs are mutually exclusive (the trace fixes the job count)")
 		}
-		for _, axis := range []string{"class", "arrival", "jobs"} {
+		if w.Clients != 0 {
+			bad("workload: trace and clients are mutually exclusive (the trace fixes the job set)")
+		}
+		if w.Skew != "" {
+			bad("workload: trace and skew are mutually exclusive (the trace fixes the job set)")
+		}
+		for _, axis := range []string{"class", "arrival", "jobs", "clients", "skew"} {
 			if swept(axis) {
 				bad("workload: trace is mutually exclusive with sweeping over %s; drop one", axis)
 			}
@@ -345,6 +359,22 @@ func (s *Spec) validateWorkloadSpec(bad func(string, ...any)) {
 	if w.Arrival != nil {
 		if _, err := workload.ArrivalsByName(w.Arrival.Process, w.Arrival.Params); err != nil {
 			bad("workload.arrival: %v", err)
+		}
+	}
+	if w.Clients < 0 {
+		bad("workload.clients: got %d, must be >= 0 (0 means the single-generator path)", w.Clients)
+	}
+	if w.Skew != "" {
+		if _, err := workload.ParseSkew(w.Skew); err != nil {
+			bad("workload.skew: %v", err)
+		}
+	}
+	if w.Clients == 0 && !swept("clients") {
+		if w.Skew != "" {
+			bad("workload.skew requires clients > 0 (or sweeping over clients)")
+		}
+		if swept("skew") {
+			bad("workload: sweeping over skew requires clients > 0 (or sweeping over clients)")
 		}
 	}
 }

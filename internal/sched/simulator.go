@@ -25,8 +25,11 @@ type JobStats struct {
 
 // Result aggregates one simulation run.
 type Result struct {
-	Policy          string
+	Policy string
+	// Jobs holds per-job stats for materialized runs; streaming runs
+	// (RunSource) aggregate incrementally and leave it nil.
 	Jobs            []JobStats
+	Completed       int // number of jobs that finished (== len(Jobs) when kept)
 	Makespan        sim.Duration
 	MeanSlowdown    float64
 	MeanResponse    float64
@@ -58,8 +61,12 @@ type Simulator struct {
 	jobStarted  map[int]bool                   //
 	stats       []JobStats                     //
 	rec         sim.Recorder                   //
-	states      map[int]*TaskState             // task ID -> state
 	estFinish   map[*cluster.Machine][]estSlot // for EASY reservations
+
+	// stream is non-nil for RunSource runs: jobs are fed incrementally and
+	// per-job state is reclaimed on finish, so memory tracks in-flight jobs
+	// rather than stream length.
+	stream *streamState
 
 	// Flattened machine list (with the owning cluster per slot), built once
 	// per run so placement does not walk the cluster nesting every probe.
@@ -88,8 +95,8 @@ func NewSimulator(env *cluster.Environment, tr *workload.Trace, p Policy, seed i
 	return &Simulator{env: env, trace: tr, policy: p, seed: seed}
 }
 
-// Run executes the simulation to completion and returns the aggregate result.
-func (s *Simulator) Run() (*Result, error) {
+// initRun prepares the kernel and per-run state shared by Run and RunSource.
+func (s *Simulator) initRun() {
 	s.k = sim.NewKernel(s.seed)
 	s.running = make(map[*TaskState]*cluster.Machine)
 	s.pendingDeps = make(map[int]int)
@@ -97,7 +104,6 @@ func (s *Simulator) Run() (*Result, error) {
 	s.jobLeft = make(map[int]int)
 	s.jobStart = make(map[int]sim.Time)
 	s.jobStarted = make(map[int]bool)
-	s.states = make(map[int]*TaskState)
 	s.estFinish = make(map[*cluster.Machine][]estSlot)
 	s.ctx = &Context{ServedWork: make(map[int]float64), Rand: s.k.Rand("policy")}
 	s.minWidth = math.MaxInt
@@ -109,6 +115,11 @@ func (s *Simulator) Run() (*Result, error) {
 			s.machClusters = append(s.machClusters, cl)
 		}
 	}
+}
+
+// Run executes the simulation to completion and returns the aggregate result.
+func (s *Simulator) Run() (*Result, error) {
+	s.initRun()
 
 	arrivals := make([]sim.BatchEvent, 0, len(s.trace.Jobs))
 	for _, job := range s.trace.Jobs {
@@ -134,7 +145,6 @@ func (s *Simulator) onJobArrive(job *workload.Job) {
 	for i := range job.Tasks {
 		t := &job.Tasks[i]
 		st := &TaskState{Job: job, Task: t, Ready: s.k.Now()}
-		s.states[t.ID] = st
 		if len(t.Deps) == 0 {
 			s.enqueue(st)
 		} else {
@@ -337,6 +347,7 @@ func (s *Simulator) onTaskFinish(st *TaskState, m *cluster.Machine) {
 	for _, dep := range s.dependents[st.Task.ID] {
 		s.pendingDeps[dep.Task.ID]--
 		if s.pendingDeps[dep.Task.ID] == 0 {
+			delete(s.pendingDeps, dep.Task.ID)
 			dep.Ready = s.k.Now()
 			s.enqueue(dep)
 		}
@@ -375,15 +386,32 @@ func (s *Simulator) finishJob(job *workload.Job) {
 	if js.Slowdown < 1 {
 		js.Slowdown = 1
 	}
+	if st := s.stream; st != nil {
+		// Streaming mode: fold the stats into running aggregates and drop
+		// every per-job map entry, so finished jobs cost nothing.
+		st.accumulate(js)
+		delete(s.jobStart, job.ID)
+		delete(s.jobStarted, job.ID)
+		delete(s.jobLeft, job.ID)
+		delete(s.ctx.ServedWork, job.ID)
+		return
+	}
 	s.stats = append(s.stats, js)
 }
 
 func (s *Simulator) recordUtilization() {
+	if st := s.stream; st != nil {
+		st.recordUtil(s.k.Now(), s.env.Utilization())
+		return
+	}
 	s.rec.Record("util", s.k.Now(), s.env.Utilization())
 }
 
 func (s *Simulator) buildResult() *Result {
-	res := &Result{Policy: s.policy.Name(), Jobs: s.stats, Horizon: s.k.Now()}
+	if st := s.stream; st != nil {
+		return st.buildResult(s.policy.Name(), s.k.Now())
+	}
+	res := &Result{Policy: s.policy.Name(), Jobs: s.stats, Completed: len(s.stats), Horizon: s.k.Now()}
 	if len(s.stats) == 0 {
 		return res
 	}

@@ -120,6 +120,51 @@ func gamma(x float64) float64 {
 	return math.Gamma(x)
 }
 
+// Gamma has shape Shape and scale Scale (mean Shape·Scale). Shape < 1 gives
+// over-dispersed, bursty values (CV > 1); Shape = 1 is Exponential. It is the
+// renewal process behind bursty per-client arrival models.
+type Gamma struct {
+	Shape float64
+	Scale float64
+}
+
+// Sample implements Dist via the Marsaglia–Tsang squeeze method, with the
+// standard U^(1/shape) boost for Shape < 1.
+func (g Gamma) Sample(r *rand.Rand) float64 {
+	shape := g.Shape
+	boost := 1.0
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		boost = math.Pow(u, 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return g.Scale * boost * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return g.Scale * boost * d * v
+		}
+	}
+}
+
+// Mean implements Dist.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+func (g Gamma) String() string { return fmt.Sprintf("gamma(k=%g,θ=%g)", g.Shape, g.Scale) }
+
 // Normal is the normal distribution truncated at zero (negative samples are
 // clamped to 0), used for noisy service times.
 type Normal struct{ Mu, Sigma float64 }

@@ -28,51 +28,96 @@ type Generator struct {
 	DeadlineFactor float64
 }
 
-// Generate produces n jobs using RNG r.
+// Generate produces n jobs using RNG r. It is a thin materialization of the
+// streaming form: Collect(g.Source(n, r), n), draw-for-draw identical to the
+// historical eager implementation.
 func (g Generator) Generate(n int, r *rand.Rand) *Trace {
-	times := g.Arrivals.Times(n, r)
-	tr := &Trace{Name: fmt.Sprintf("%s-%s", g.Class, g.Arrivals)}
-	taskID := 0
-	for i := 0; i < n; i++ {
-		job := &Job{ID: i + 1, Submit: times[i], Class: g.Class}
-		width := int(g.TasksPerJob.Sample(r))
-		if width < 1 {
-			width = 1
-		}
-		for w := 0; w < width; w++ {
-			taskID++
-			rt := sim.Duration(g.Runtime.Sample(r))
-			if rt <= 0 {
-				rt = 0.001
-			}
-			cpus := int(g.TaskCPUs.Sample(r))
-			if cpus < 1 {
-				cpus = 1
-			}
-			est := rt
-			if g.EstimateNoise > 0 {
-				est = rt * sim.Duration(1+g.EstimateNoise*(2*r.Float64()-1))
-				if est <= 0 {
-					est = 0.001
-				}
-			}
-			job.Tasks = append(job.Tasks, Task{
-				ID:              taskID,
-				JobID:           job.ID,
-				CPUs:            cpus,
-				Runtime:         rt,
-				RuntimeEstimate: est,
-			})
-		}
-		if g.WorkflowFraction > 0 && r.Float64() < g.WorkflowFraction && width > 2 {
-			chainIntoLevels(job, r)
-		}
-		if g.DeadlineFactor > 0 {
-			job.Deadline = sim.Duration(g.DeadlineFactor) * job.CriticalPath()
-		}
-		tr.Jobs = append(tr.Jobs, job)
+	return Collect(g.Source(n, r), n)
+}
+
+// genScratch holds the reusable buffers behind streaming job-body
+// generation: a dep arena (two slots per task, the generator's maximum) and
+// a critical-path memo. One scratch serves one stream; jobs emitted from it
+// are valid until the next fill.
+type genScratch struct {
+	deps   []int
+	finish []sim.Duration
+}
+
+// fillJob draws one job body — tasks, optional DAG structure, deadline —
+// into job, which must already carry ID, Submit, and Class. Tasks get
+// job-local IDs 1..width and Deps refer to those; callers make them globally
+// unique with emitAs. Storage comes from job.Tasks' spare capacity and
+// sc, so a reused job allocates nothing once the buffers are warm.
+func (g Generator) fillJob(job *Job, r *rand.Rand, sc *genScratch) {
+	width := int(g.TasksPerJob.Sample(r))
+	if width < 1 {
+		width = 1
 	}
-	return tr
+	if cap(job.Tasks) < width {
+		job.Tasks = make([]Task, 0, width)
+	}
+	job.Tasks = job.Tasks[:0]
+	if cap(sc.deps) < 2*width {
+		sc.deps = make([]int, 2*width)
+	}
+	job.Deadline = 0
+	for w := 0; w < width; w++ {
+		rt := sim.Duration(g.Runtime.Sample(r))
+		if rt <= 0 {
+			rt = 0.001
+		}
+		cpus := int(g.TaskCPUs.Sample(r))
+		if cpus < 1 {
+			cpus = 1
+		}
+		est := rt
+		if g.EstimateNoise > 0 {
+			est = rt * sim.Duration(1+g.EstimateNoise*(2*r.Float64()-1))
+			if est <= 0 {
+				est = 0.001
+			}
+		}
+		job.Tasks = append(job.Tasks, Task{
+			ID:              w + 1,
+			JobID:           job.ID,
+			CPUs:            cpus,
+			Runtime:         rt,
+			RuntimeEstimate: est,
+			Deps:            sc.deps[2*w : 2*w : 2*w+2],
+		})
+	}
+	if g.WorkflowFraction > 0 && r.Float64() < g.WorkflowFraction && width > 2 {
+		chainIntoLevels(job, r)
+	}
+	if g.DeadlineFactor > 0 {
+		job.Deadline = sim.Duration(g.DeadlineFactor) * sc.criticalPath(job)
+	}
+}
+
+// criticalPath computes Job.CriticalPath without allocating, relying on the
+// generator invariant that dependencies point only at lower task indexes
+// (task ID = index+1 before rebasing).
+func (sc *genScratch) criticalPath(job *Job) sim.Duration {
+	if cap(sc.finish) < len(job.Tasks) {
+		sc.finish = make([]sim.Duration, len(job.Tasks))
+	}
+	finish := sc.finish[:len(job.Tasks)]
+	var cp sim.Duration
+	for i := range job.Tasks {
+		t := &job.Tasks[i]
+		var start sim.Duration
+		for _, d := range t.Deps {
+			if f := finish[d-1]; f > start {
+				start = f
+			}
+		}
+		finish[i] = start + t.Runtime
+		if finish[i] > cp {
+			cp = finish[i]
+		}
+	}
+	return cp
 }
 
 // chainIntoLevels turns a bag into a layered DAG: tasks are split into 2-4
@@ -87,36 +132,31 @@ func chainIntoLevels(job *Job, r *rand.Rand) {
 	if perLevel == 0 {
 		perLevel = 1
 	}
-	levelOf := make([]int, len(job.Tasks))
+	// Level assignment is monotone in the task index (level = index/perLevel,
+	// clamped to the last level), so each level occupies a contiguous index
+	// range and no per-level index slices are needed.
 	for i := range job.Tasks {
 		l := i / perLevel
 		if l >= levels {
 			l = levels - 1
 		}
-		levelOf[i] = l
-	}
-	// Index tasks by level for dependency selection.
-	byLevel := make([][]int, levels)
-	for i, l := range levelOf {
-		byLevel[l] = append(byLevel[l], i)
-	}
-	for i := range job.Tasks {
-		l := levelOf[i]
 		if l == 0 {
 			continue
 		}
-		prev := byLevel[l-1]
+		// The previous level is never the clamped tail level, so it holds
+		// exactly perLevel tasks starting at (l-1)·perLevel.
+		lo := (l - 1) * perLevel
 		nDeps := 1
-		if len(prev) > 1 && r.Float64() < 0.5 {
+		if perLevel > 1 && r.Float64() < 0.5 {
 			nDeps = 2
 		}
-		seen := map[int]bool{}
+		first := -1
 		for d := 0; d < nDeps; d++ {
-			p := prev[r.Intn(len(prev))]
-			if seen[p] {
+			p := lo + r.Intn(perLevel)
+			if p == first {
 				continue
 			}
-			seen[p] = true
+			first = p
 			job.Tasks[i].Deps = append(job.Tasks[i].Deps, job.Tasks[p].ID)
 		}
 	}

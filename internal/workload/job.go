@@ -187,6 +187,23 @@ func (j *Job) ValidateDAG() error {
 	return nil
 }
 
+// Clone deep-copies the job, its tasks, and their dependency lists. It is
+// how a JobSource consumer retains a job past the next Next call.
+func (j *Job) Clone() *Job {
+	nj := *j
+	nj.Tasks = make([]Task, len(j.Tasks))
+	copy(nj.Tasks, j.Tasks)
+	for ti := range nj.Tasks {
+		if deps := nj.Tasks[ti].Deps; len(deps) > 0 {
+			nj.Tasks[ti].Deps = append([]int(nil), deps...)
+		} else {
+			// Drop empty headers too: they may alias a source's dep arena.
+			nj.Tasks[ti].Deps = nil
+		}
+	}
+	return &nj
+}
+
 // Trace is an ordered collection of jobs, the interchange format between
 // generators, schedulers, and trace I/O.
 type Trace struct {
@@ -200,15 +217,7 @@ type Trace struct {
 func (tr *Trace) Clone() *Trace {
 	cp := &Trace{Name: tr.Name, Jobs: make([]*Job, len(tr.Jobs))}
 	for i, j := range tr.Jobs {
-		nj := *j
-		nj.Tasks = make([]Task, len(j.Tasks))
-		copy(nj.Tasks, j.Tasks)
-		for ti := range nj.Tasks {
-			if deps := nj.Tasks[ti].Deps; len(deps) > 0 {
-				nj.Tasks[ti].Deps = append([]int(nil), deps...)
-			}
-		}
-		cp.Jobs[i] = &nj
+		cp.Jobs[i] = j.Clone()
 	}
 	return cp
 }

@@ -42,6 +42,12 @@ var arrivalBuilders = map[string]arrivalBuilder{
 			return FlashcrowdArrivals{BaseRate: p["rate"], StartAt: sim.Time(p["start"]), Spike: p["spike"], HalfLife: sim.Duration(p["halflife"])}
 		},
 	},
+	"gamma": {
+		params: map[string]float64{"rate": 0.05, "shape": 0.5},
+		build: func(p map[string]float64) ArrivalProcess {
+			return GammaArrivals{Rate: p["rate"], Shape: p["shape"]}
+		},
+	},
 }
 
 // ArrivalsByName builds the named arrival process. params overrides the
@@ -63,7 +69,13 @@ func ArrivalsByName(name string, params map[string]float64) (ArrivalProcess, err
 		}
 		resolved[strings.ToLower(k)] = v
 	}
-	return b.build(resolved), nil
+	proc := b.build(resolved)
+	// Reject degenerate parameterizations here, at registry time, rather
+	// than hanging the thinning loops (or emitting +Inf times) mid-run.
+	if err := proc.Validate(); err != nil {
+		return nil, err
+	}
+	return proc, nil
 }
 
 // ArrivalNames returns the arrival-process names in sorted order.
